@@ -1,0 +1,83 @@
+// Package fpb_test holds the benchmark harness: one testing.B target per
+// table and figure of the paper's evaluation, plus the ablation benches
+// DESIGN.md calls out. Each benchmark regenerates its experiment through
+// internal/exp at a reduced scale (instructions per core set by -fpb.instr,
+// default 20k) and reports the headline aggregate as a custom metric so
+// `go test -bench=.` output is directly comparable to the paper's numbers.
+//
+// The runner memoizes simulations, so b.N > 1 iterations after the first
+// are cache hits; the reported ns/op of the first run includes the real
+// simulation work.
+package fpb_test
+
+import (
+	"flag"
+	"strconv"
+	"sync"
+	"testing"
+
+	"fpb/internal/exp"
+)
+
+var benchInstr = flag.Uint64("fpb.instr", 20_000, "instructions per core for benchmark experiments")
+
+var (
+	runnerOnce sync.Once
+	runner     *exp.Runner
+)
+
+// sharedRunner memoizes across all benchmarks in the binary, so figures
+// reusing the same configurations (e.g. the DIMM+chip baseline) simulate
+// them once.
+func sharedRunner() *exp.Runner {
+	runnerOnce.Do(func() {
+		runner = exp.NewRunner(exp.Options{InstrPerCore: *benchInstr})
+	})
+	return runner
+}
+
+// runExperiment executes the experiment once per b.N iteration and reports
+// the last row's aggregate values as custom metrics (gmean speedups for the
+// speedup figures, max/avg tokens for the telemetry figures).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		tb := e.Run(r)
+		if i == 0 {
+			last := tb.Row(tb.NumRows() - 1)
+			cols := tb.Columns
+			for j := 1; j < len(last) && j < len(cols); j++ {
+				if v, err := strconv.ParseFloat(last[j], 64); err == nil {
+					b.ReportMetric(v, cols[j]+"_"+last[0])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig02CellChanges(b *testing.B)        { runExperiment(b, "fig2") }
+func BenchmarkFig04Heuristics(b *testing.B)         { runExperiment(b, "fig4") }
+func BenchmarkFig10WriteBurst(b *testing.B)         { runExperiment(b, "fig10") }
+func BenchmarkFig11GCPEfficiency(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12CellMapping(b *testing.B)        { runExperiment(b, "fig12") }
+func BenchmarkFig13MaxGCPTokens(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkTable3PumpArea(b *testing.B)          { runExperiment(b, "tab3") }
+func BenchmarkFig14AvgGCPTokens(b *testing.B)       { runExperiment(b, "fig14") }
+func BenchmarkFig15BIMEfficiencySweep(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkFig16IPM(b *testing.B)                { runExperiment(b, "fig16") }
+func BenchmarkFig17MultiResetSplit(b *testing.B)    { runExperiment(b, "fig17") }
+func BenchmarkFig18Throughput(b *testing.B)         { runExperiment(b, "fig18") }
+func BenchmarkFig19LineSize(b *testing.B)           { runExperiment(b, "fig19") }
+func BenchmarkFig20LLC(b *testing.B)                { runExperiment(b, "fig20") }
+func BenchmarkFig21WriteQueue(b *testing.B)         { runExperiment(b, "fig21") }
+func BenchmarkFig22TokenBudget(b *testing.B)        { runExperiment(b, "fig22") }
+func BenchmarkFig23WCWPWT(b *testing.B)             { runExperiment(b, "fig23") }
+func BenchmarkAblationGCPSize(b *testing.B)         { runExperiment(b, "abl-gcpsize") }
+func BenchmarkAblationSetRatio(b *testing.B)        { runExperiment(b, "abl-setratio") }
+func BenchmarkAblationMRTrigger(b *testing.B)       { runExperiment(b, "abl-mrtrigger") }
+func BenchmarkAblationHalfStripe(b *testing.B)      { runExperiment(b, "abl-halfstripe") }

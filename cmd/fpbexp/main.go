@@ -1,0 +1,93 @@
+// Command fpbexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fpbexp -list
+//	fpbexp -exp fig16 [-instr 100000] [-workloads mcf_m,lbm_m]
+//	fpbexp -all [-out results.md]
+//
+// Each experiment prints the same rows/series the corresponding figure or
+// table of the paper reports (speedups over the same normalization
+// baseline). -instr scales simulation length; larger values reduce noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fpb/internal/exp"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available experiments")
+		expID     = flag.String("exp", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment in paper order")
+		instr     = flag.Uint64("instr", 100_000, "instructions per core per simulation")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
+		out       = flag.String("out", "", "also append results to this file")
+		bars      = flag.Bool("bars", false, "also render each result column as an ASCII bar chart")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := exp.Options{InstrPerCore: *instr}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	runner := exp.NewRunner(opt)
+
+	var sinks []io.Writer = []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+
+	var toRun []exp.Experiment
+	switch {
+	case *all:
+		toRun = exp.All()
+	case *expID != "":
+		e, ok := exp.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fpbexp: unknown experiment %q (see -list)\n", *expID)
+			os.Exit(1)
+		}
+		toRun = []exp.Experiment{e}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		table := e.Run(runner)
+		fmt.Fprintf(w, "## %s\n\n", e.Title)
+		fmt.Fprintf(w, "Paper: %s\n\n", e.Paper)
+		fmt.Fprintln(w, table.String())
+		if *bars {
+			for col := 1; col < len(table.Columns); col++ {
+				if chart := table.BarChart(col, 40); chart != "" {
+					fmt.Fprintln(w, chart)
+				}
+			}
+		}
+		fmt.Fprintf(w, "(%s, %d instr/core)\n\n", time.Since(start).Round(time.Millisecond), *instr)
+	}
+}

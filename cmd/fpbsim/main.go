@@ -1,0 +1,155 @@
+// Command fpbsim runs one simulation and prints its metrics — the
+// single-configuration counterpart to fpbexp.
+//
+// Usage:
+//
+//	fpbsim -workload mcf_m -scheme fpb -instr 200000
+//	fpbsim -workload lbm_m -scheme dimm+chip -mapping vim -gcpeff 0.5
+//
+// Schemes: ideal, dimm-only, dimm+chip, gcp, gcp+ipm, fpb (= gcp+ipm+mr),
+// ipm, ipm+mr. Mappings: ne, vim, bim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+	"fpb/internal/trace"
+	"fpb/internal/workload"
+)
+
+var schemes = map[string]sim.Scheme{
+	"ideal":      sim.SchemeIdeal,
+	"dimm-only":  sim.SchemeDIMMOnly,
+	"dimm+chip":  sim.SchemeDIMMChip,
+	"gcp":        sim.SchemeGCP,
+	"gcp+ipm":    sim.SchemeGCPIPM,
+	"gcp+ipm+mr": sim.SchemeGCPIPMMR,
+	"fpb":        sim.SchemeGCPIPMMR,
+	"ipm":        sim.SchemeIPM,
+	"ipm+mr":     sim.SchemeIPMMR,
+}
+
+var mappings = map[string]sim.Mapping{
+	"ne":  sim.MapNaive,
+	"vim": sim.MapVIM,
+	"bim": sim.MapBIM,
+}
+
+func main() {
+	var (
+		wl       = flag.String("workload", "mcf_m", "workload name (ast_m..cop_m, mix_1..mix_3)")
+		scheme   = flag.String("scheme", "fpb", "power budgeting scheme")
+		mapName  = flag.String("mapping", "bim", "cell mapping: ne, vim, bim")
+		gcpEff   = flag.Float64("gcpeff", 0.70, "GCP power efficiency (0,1]")
+		instr    = flag.Uint64("instr", 200_000, "instructions per core")
+		tokens   = flag.Float64("tokens", 560, "DIMM power tokens")
+		lineB    = flag.Int("line", 256, "memory line size in bytes")
+		wrq      = flag.Int("wrq", 24, "write queue entries")
+		llc      = flag.Int("llc", 32, "per-core LLC capacity in MB")
+		wc       = flag.Bool("wc", false, "enable write cancellation")
+		wp       = flag.Bool("wp", false, "enable write pausing")
+		wt       = flag.Bool("wt", false, "enable write truncation")
+		seed     = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
+		traceDir = flag.String("tracedir", "", "replay per-core trace files <dir>/<workload>.coreN.trace instead of generating")
+	)
+	flag.Parse()
+
+	s, ok := schemes[strings.ToLower(*scheme)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fpbsim: unknown scheme %q\n", *scheme)
+		os.Exit(1)
+	}
+	m, ok := mappings[strings.ToLower(*mapName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fpbsim: unknown mapping %q\n", *mapName)
+		os.Exit(1)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = s
+	cfg.CellMapping = m
+	cfg.GCPEff = *gcpEff
+	cfg.InstrPerCore = *instr
+	cfg.DIMMTokens = *tokens
+	cfg.L3LineB = *lineB
+	cfg.WriteQueueEntries = *wrq
+	cfg.L3SizeMB = *llc
+	cfg.WriteCancellation = *wc
+	cfg.WritePausing = *wp
+	cfg.WriteTruncation = *wt
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fpbsim:", err)
+		os.Exit(1)
+	}
+
+	var res system.Result
+	var err error
+	if *traceDir != "" {
+		res, err = replayTraces(cfg, *traceDir, *wl)
+	} else {
+		res, err = system.RunWorkload(cfg, *wl)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpbsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("scheme              %s (%v, GCP eff %.2f)\n", res.Scheme, m, *gcpEff)
+	fmt.Printf("instructions        %d\n", res.Instrs)
+	fmt.Printf("cycles              %d\n", res.Cycles)
+	fmt.Printf("CPI                 %.3f\n", res.CPI)
+	fmt.Printf("PCM reads           %d (RPKI %.3f)\n", res.DemandReads, res.MeasRPKI)
+	fmt.Printf("PCM writes          %d (WPKI %.3f)\n", res.Writes, res.MeasWPKI)
+	fmt.Printf("avg cell changes    %.1f per line write\n", res.AvgCellChanges)
+	fmt.Printf("avg read latency    %.0f cycles\n", res.AvgReadLatency)
+	fmt.Printf("write throughput    %.1f line writes / Mcycle\n", res.WriteThroughput)
+	fmt.Printf("write-burst time    %.1f%%\n", res.BurstFraction*100)
+	fmt.Printf("GCP max/avg tokens  %.1f / %.2f\n", res.MaxGCPTokens, res.AvgGCPTokens)
+	fmt.Printf("multi-RESET admits  %d\n", res.MRAdmissions)
+	fmt.Printf("multi-round writes  %d\n", res.MultiRound)
+	fmt.Printf("avg write energy    %.1f pJ (%.2f nJ per 64B)\n",
+		res.AvgWriteEnergyPJ, res.AvgWriteEnergyPJ/float64(cfg.L3LineB/64)/1000)
+	fmt.Printf("wear                %d distinct lines, hottest written %d times\n",
+		res.DistinctLines, res.MaxLineWrites)
+	if *wc || *wp {
+		fmt.Printf("WC cancels / WP pauses  %d / %d\n", res.WCCancels, res.WPPauses)
+	}
+}
+
+// replayTraces loads <dir>/<workload>.coreN.trace for every core and runs
+// the system from the stored streams.
+func replayTraces(cfg sim.Config, dir, wl string) (system.Result, error) {
+	sources := make([]trace.Source, cfg.Cores)
+	classes := make([]workload.ValueClass, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("%s.core%d.trace", wl, i))
+		f, err := os.Open(path)
+		if err != nil {
+			return system.Result{}, err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return system.Result{}, fmt.Errorf("%s: %w", path, err)
+		}
+		sources[i] = r
+		classes[i], _ = workload.ParseValueClass(r.Header().Value)
+	}
+	sys, err := system.BuildFromSources(cfg, sources, classes)
+	if err != nil {
+		return system.Result{}, err
+	}
+	res := sys.Run()
+	res.Workload = wl + " (replay)"
+	return res, nil
+}

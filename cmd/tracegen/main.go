@@ -1,0 +1,116 @@
+// Command tracegen materializes the synthetic workload generators into
+// trace files (one per core) and can summarize existing traces. The file
+// format is a one-line JSON header followed by fixed-width binary records
+// (internal/trace).
+//
+// Usage:
+//
+//	tracegen -workload mcf_m -n 100000 -dir traces/
+//	tracegen -summarize traces/mcf_m.core0.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpb/internal/sim"
+	"fpb/internal/trace"
+	"fpb/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "mcf_m", "workload to generate")
+		n         = flag.Uint64("n", 100_000, "accesses per core")
+		dir       = flag.String("dir", ".", "output directory")
+		seed      = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
+		summarize = flag.String("summarize", "", "print a summary of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summary(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := sim.DefaultConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	wl, err := workload.ByName(*wlName, cfg.Cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	root := sim.NewRNG(cfg.Seed)
+	for i, prof := range wl.Cores {
+		gen := workload.NewGenerator(prof, &cfg, i, root.Derive(uint64(1000+i)).Derive(1))
+		path := filepath.Join(*dir, fmt.Sprintf("%s.core%d.trace", *wlName, i))
+		if err := writeTrace(path, *wlName, i, prof.Value.String(), gen, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records, profile %s)\n", path, *n, prof.Name)
+	}
+}
+
+func writeTrace(path, wlName string, core int, valueClass string, gen *workload.Generator, n uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f, wlName, core)
+	w.SetValueClass(valueClass)
+	for i := uint64(0); i < n; i++ {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(a); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func summary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var records, writes, instr uint64
+	for {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		records++
+		instr += a.Instructions()
+		if a.Write {
+			writes++
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	h := r.Header()
+	fmt.Printf("workload   %s (core %d)\n", h.Workload, h.Core)
+	fmt.Printf("records    %d (%d writes)\n", records, writes)
+	fmt.Printf("instr      %d\n", instr)
+	if instr > 0 {
+		fmt.Printf("APKI       %.3f (write APKI %.3f)\n",
+			float64(records)/float64(instr)*1000, float64(writes)/float64(instr)*1000)
+	}
+	return nil
+}

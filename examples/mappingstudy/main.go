@@ -1,0 +1,122 @@
+// Mappingstudy: a device-level look at why VIM and BIM exist. For integer,
+// floating-point and byte-stream value models, the example measures how a
+// line write's changed cells distribute across the 8 PCM chips under each
+// mapping (Section 4.3, Figure 9), and how that imbalance translates into
+// demand on the global charge pump.
+//
+// Run with: go run ./examples/mappingstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpb/internal/mapping"
+	"fpb/internal/pcm"
+	"fpb/internal/sim"
+	"fpb/internal/stats"
+	"fpb/internal/system"
+	"fpb/internal/workload"
+)
+
+const (
+	lineB  = 256
+	chips  = 8
+	writes = 2000
+)
+
+func main() {
+	cells := pcm.NumCells(lineB, 2)
+	classes := []workload.ValueClass{workload.ValueInt, workload.ValueFP, workload.ValueByte}
+	maps := []sim.Mapping{sim.MapNaive, sim.MapVIM, sim.MapBIM}
+
+	fmt.Println("Per-chip imbalance of changed cells (max chip / mean chip; 1.0 = perfectly balanced)")
+	fmt.Println()
+	fmt.Printf("%-8s %8s %8s %8s\n", "values", "NE", "VIM", "BIM")
+	for _, class := range classes {
+		row := fmt.Sprintf("%-8s", class)
+		for _, m := range maps {
+			row += fmt.Sprintf(" %8.3f", imbalanceOf(class, m, cells))
+		}
+		fmt.Println(row)
+	}
+
+	// Chip-budget pressure arises from *concurrent* writes (Fig. 3): the
+	// per-chip demands of overlapping writes stack against the 66.5-token
+	// LCP. Report the expected hot-chip demand when three writes overlap.
+	fmt.Println()
+	fmt.Println("Hot-chip demand with 3 overlapping writes vs the 66.5-token LCP budget")
+	fmt.Println("(excess must come from the GCP — or the writes stall)")
+	fmt.Println()
+	cfg := sim.DefaultConfig()
+	lcp := cfg.LCPTokens()
+	fmt.Printf("%-8s %8s %8s %8s\n", "values", "NE", "VIM", "BIM")
+	for _, class := range classes {
+		row := fmt.Sprintf("%-8s", class)
+		for _, m := range maps {
+			row += fmt.Sprintf(" %8.1f", overlapHotDemand(class, m, cells)-lcp)
+		}
+		fmt.Println(row)
+	}
+
+	// System-level confirmation: the GCP tokens a real simulation asks
+	// for under each mapping (the data behind Fig. 13 / Table 3).
+	fmt.Println()
+	fmt.Println("GCP engagement in a real simulation of mcf_m (GCP scheme, eff 0.7)")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s\n", "mapping", "max tokens", "avg/write")
+	for _, m := range maps {
+		simCfg := sim.DefaultConfig()
+		simCfg.InstrPerCore = 40_000
+		simCfg.Scheme = sim.SchemeGCP
+		simCfg.CellMapping = m
+		res, err := system.RunWorkload(simCfg, "mcf_m")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v %12.1f %12.2f\n", m, res.MaxGCPTokens, res.AvgGCPTokens)
+	}
+}
+
+// overlapHotDemand is the mean over samples of the busiest chip's combined
+// cell count when three consecutive writes overlap in time.
+func overlapHotDemand(class workload.ValueClass, m sim.Mapping, cells int) float64 {
+	samples := sampleCounts(class, m, cells)
+	var s stats.Summary
+	for i := 0; i+2 < len(samples); i += 3 {
+		max := 0
+		for c := 0; c < chips; c++ {
+			sum := samples[i][c] + samples[i+1][c] + samples[i+2][c]
+			if sum > max {
+				max = sum
+			}
+		}
+		s.Add(float64(max))
+	}
+	return s.Mean()
+}
+
+// sampleCounts returns per-chip changed-cell counts for a stream of writes.
+func sampleCounts(class workload.ValueClass, m sim.Mapping, cells int) [][]int {
+	mut := workload.NewMutator(class, sim.NewRNG(7))
+	mapFn := mapping.New(m, cells, chips)
+	old := workload.BaselineContent(0x1000, lineB)
+	var out [][]int
+	for i := 0; i < writes; i++ {
+		next := mut.Next(old, lineB)
+		changed := pcm.DiffCells(nil, old, next, 2)
+		out = append(out, mapping.PerChipCounts(changed, mapFn, chips))
+		old = next
+	}
+	return out
+}
+
+func imbalanceOf(class workload.ValueClass, m sim.Mapping, cells int) float64 {
+	var s stats.Summary
+	for _, counts := range sampleCounts(class, m, cells) {
+		if im := mapping.Imbalance(counts); im > 0 {
+			s.Add(im)
+		}
+	}
+	return s.Mean()
+}

@@ -1,0 +1,65 @@
+// Powersweep: explore how the global charge pump's power efficiency and the
+// cell mapping interact (the paper's Figures 11/12/15). For each mapping,
+// GCP efficiency is swept from 0.95 down to 0.30 and the speedup over the
+// DIMM+chip baseline printed as a text curve.
+//
+// Run with: go run ./examples/powersweep [-workload mix_1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+func main() {
+	wl := flag.String("workload", "mix_1", "workload to sweep")
+	instr := flag.Uint64("instr", 60_000, "instructions per core")
+	flag.Parse()
+
+	base := sim.DefaultConfig()
+	base.InstrPerCore = *instr
+	base.Scheme = sim.SchemeDIMMChip
+	baseRes, err := system.RunWorkload(base, *wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GCP speedup over DIMM+chip on %s (CPI %.1f)\n\n", *wl, baseRes.CPI)
+	fmt.Println("eff   NE      VIM     BIM")
+
+	effs := []float64{0.95, 0.80, 0.70, 0.60, 0.50, 0.40, 0.30}
+	for _, eff := range effs {
+		row := fmt.Sprintf("%.2f", eff)
+		for _, m := range []sim.Mapping{sim.MapNaive, sim.MapVIM, sim.MapBIM} {
+			cfg := base
+			cfg.Scheme = sim.SchemeGCP
+			cfg.CellMapping = m
+			cfg.GCPEff = eff
+			res, err := system.RunWorkload(cfg, *wl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %.3f", system.Speedup(baseRes, res))
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nSpeedup bars (BIM):")
+	for _, eff := range effs {
+		cfg := base
+		cfg.Scheme = sim.SchemeGCP
+		cfg.CellMapping = sim.MapBIM
+		cfg.GCPEff = eff
+		res, _ := system.RunWorkload(cfg, *wl)
+		s := system.Speedup(baseRes, res)
+		bars := int((s - 1) * 50)
+		if bars < 0 {
+			bars = 0
+		}
+		fmt.Printf("%.2f %-30s %.3f\n", eff, strings.Repeat("#", bars), s)
+	}
+}

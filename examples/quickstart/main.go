@@ -1,0 +1,51 @@
+// Quickstart: simulate one write-intensive workload (8 copies of mcf) under
+// the state-of-the-art per-write power budgeting baseline (DIMM+chip) and
+// under full FPB (GCP + IPM + Multi-RESET with BIM mapping), then report
+// the speedup and write-throughput gain — the paper's headline comparison.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+func main() {
+	const workloadName = "mcf_m"
+
+	base := sim.DefaultConfig()
+	base.InstrPerCore = 100_000
+	base.Scheme = sim.SchemeDIMMChip
+
+	fpb := base
+	fpb.Scheme = sim.SchemeGCPIPMMR
+	fpb.CellMapping = sim.MapBIM
+	fpb.GCPEff = 0.70
+
+	fmt.Printf("Simulating %s under two power-budgeting schemes...\n\n", workloadName)
+
+	baseRes, err := system.RunWorkload(base, workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fpbRes, err := system.RunWorkload(fpb, workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, r system.Result) {
+		fmt.Printf("%-28s CPI %7.2f | write throughput %6.1f/Mcyc | %4.1f%% of time in write burst\n",
+			label, r.CPI, r.WriteThroughput, r.BurstFraction*100)
+	}
+	report("DIMM+chip (Hay et al.)", baseRes)
+	report("FPB (GCP+IPM+MR, BIM)", fpbRes)
+
+	fmt.Printf("\nFPB speedup:                 %.2fx (paper: +76%% on average)\n",
+		system.Speedup(baseRes, fpbRes))
+	fmt.Printf("FPB write-throughput gain:   %.2fx (paper: 3.4x on average)\n",
+		fpbRes.WriteThroughput/baseRes.WriteThroughput)
+}

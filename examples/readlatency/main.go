@@ -1,0 +1,68 @@
+// Readlatency: FPB combined with the read-latency reduction schemes the
+// paper integrates in Section 6.4.5 — write cancellation (WC), write
+// pausing (WP) and write truncation (WT). Long MLC writes block reads to
+// their bank; WC/WP move writes off the read's critical path and WT
+// shortens the writes themselves. The example reports average PCM read
+// latency and overall CPI as each scheme is stacked on top of FPB.
+//
+// Run with: go run ./examples/readlatency [-workload tig_m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+func main() {
+	wl := flag.String("workload", "tig_m", "workload (read-heavy ones show WC/WP best)")
+	instr := flag.Uint64("instr", 80_000, "instructions per core")
+	flag.Parse()
+
+	fpb := sim.DefaultConfig()
+	fpb.InstrPerCore = *instr
+	fpb.Scheme = sim.SchemeGCPIPMMR
+	fpb.CellMapping = sim.MapBIM
+
+	steps := []struct {
+		label  string
+		mutate func(*sim.Config)
+	}{
+		{"FPB", func(c *sim.Config) {}},
+		{"FPB+WC", func(c *sim.Config) {
+			c.WriteCancellation = true
+			c.ReadQueueEntries, c.WriteQueueEntries = 320, 320
+		}},
+		{"FPB+WC+WP", func(c *sim.Config) {
+			c.WriteCancellation, c.WritePausing = true, true
+			c.ReadQueueEntries, c.WriteQueueEntries = 320, 320
+		}},
+		{"FPB+WC+WP+WT", func(c *sim.Config) {
+			c.WriteCancellation, c.WritePausing, c.WriteTruncation = true, true, true
+			c.ReadQueueEntries, c.WriteQueueEntries = 320, 320
+		}},
+	}
+
+	fmt.Printf("Read-latency schemes stacked on FPB, workload %s\n\n", *wl)
+	fmt.Printf("%-14s %10s %10s %10s %9s %9s\n",
+		"scheme", "CPI", "readLat", "wr/Mcyc", "cancels", "pauses")
+	var first system.Result
+	for i, st := range steps {
+		cfg := fpb
+		st.mutate(&cfg)
+		res, err := system.RunWorkload(cfg, *wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		}
+		fmt.Printf("%-14s %10.2f %10.0f %10.1f %9d %9d\n",
+			st.label, res.CPI, res.AvgReadLatency, res.WriteThroughput,
+			res.WCCancels, res.WPPauses)
+	}
+	_ = first
+}

@@ -1,0 +1,3 @@
+module fpb
+
+go 1.22

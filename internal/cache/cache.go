@@ -1,0 +1,128 @@
+// Package cache implements the write-back cache hierarchy of the simulated
+// CMP: per-core private L1 and L2 SRAM caches and a private off-chip DRAM
+// L3 whose line size equals the PCM memory line (Table 1). The hierarchy is
+// functional (tags + dirty bits, true LRU) and reports which level served
+// each access and which memory operations (demand fills and dirty
+// writebacks) it generated; timing is applied by the CPU model.
+package cache
+
+// Victim describes a line evicted by an allocation.
+type Victim struct {
+	Addr  uint64 // line-aligned address
+	Dirty bool
+}
+
+// Cache is one set-associative write-back, write-allocate cache level.
+type Cache struct {
+	lineB  int
+	ways   int
+	sets   int
+	tags   []uint64 // line index per way, laid out set-major
+	valid  []bool
+	dirty  []bool
+	lastU  []uint64
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+// New builds a cache of sizeBytes capacity with the given line size and
+// associativity. Sizes that do not divide evenly are rounded down to whole
+// sets; a cache smaller than one set panics.
+func New(sizeBytes, lineB, ways int) *Cache {
+	if lineB <= 0 || ways <= 0 {
+		panic("cache: line size and ways must be positive")
+	}
+	sets := sizeBytes / (lineB * ways)
+	if sets <= 0 {
+		panic("cache: capacity below one set")
+	}
+	n := sets * ways
+	return &Cache{
+		lineB: lineB,
+		ways:  ways,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		dirty: make([]bool, n),
+		lastU: make([]uint64, n),
+	}
+}
+
+// LineBytes reports the cache's line size.
+func (c *Cache) LineBytes() int { return c.lineB }
+
+// Stats reports accumulated demand hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+func (c *Cache) set(lineIdx uint64) int { return int(lineIdx % uint64(c.sets)) }
+
+// Access performs a demand access. On a miss the line is allocated
+// (the fill itself is the caller's concern) and the LRU victim, if any,
+// is returned. write marks the line dirty.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, evicted bool) {
+	lineIdx := addr / uint64(c.lineB)
+	c.tick++
+	base := c.set(lineIdx) * c.ways
+	var lruWay, invalidWay = -1, -1
+	var lruTick uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			invalidWay = w
+			continue
+		}
+		if c.tags[i] == lineIdx {
+			c.hits++
+			c.lastU[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			return true, Victim{}, false
+		}
+		if c.lastU[i] < lruTick {
+			lruTick = c.lastU[i]
+			lruWay = w
+		}
+	}
+	c.misses++
+	way := invalidWay
+	if way < 0 {
+		way = lruWay
+		i := base + way
+		victim = Victim{Addr: c.tags[i] * uint64(c.lineB), Dirty: c.dirty[i]}
+		evicted = true
+	}
+	i := base + way
+	c.tags[i] = lineIdx
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.lastU[i] = c.tick
+	return false, victim, evicted
+}
+
+// Contains reports whether the line holding addr is cached (no LRU update).
+func (c *Cache) Contains(addr uint64) bool {
+	lineIdx := addr / uint64(c.lineB)
+	base := c.set(lineIdx) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == lineIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty reports whether the line holding addr is cached dirty.
+func (c *Cache) IsDirty(addr uint64) bool {
+	lineIdx := addr / uint64(c.lineB)
+	base := c.set(lineIdx) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == lineIdx {
+			return c.dirty[i]
+		}
+	}
+	return false
+}

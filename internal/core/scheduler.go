@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fpb/internal/pcm"
+	"fpb/internal/power"
+	"fpb/internal/sim"
+)
+
+// Ticket is the live state of an admitted write: which phase of its plan it
+// is in and what tokens it currently holds.
+type Ticket struct {
+	Profile *pcm.WriteProfile
+	Plan    *WritePlan
+
+	phase   int
+	grant   *power.Grant
+	paused  bool
+	waiting bool
+	gcpUsed float64
+}
+
+// PhaseIndex reports the current phase (0-based).
+func (t *Ticket) PhaseIndex() int { return t.phase }
+
+// PhaseDuration reports how long the current phase lasts.
+func (t *Ticket) PhaseDuration() sim.Cycle { return t.Plan.Phases[t.phase].Duration }
+
+// InReset reports whether the current phase is a RESET (sub-)iteration.
+func (t *Ticket) InReset() bool { return t.Plan.Phases[t.phase].Reset }
+
+// Progress reports the fraction of phases completed, in [0, 1).
+func (t *Ticket) Progress() float64 {
+	return float64(t.phase) / float64(len(t.Plan.Phases))
+}
+
+// Waiting reports whether the write is stalled at a phase boundary for
+// tokens.
+func (t *Ticket) Waiting() bool { return t.waiting }
+
+// Paused reports whether the write is paused (write pausing).
+func (t *Ticket) Paused() bool { return t.paused }
+
+// GCPUsed reports accumulated GCP output tokens across the write's phases.
+func (t *Ticket) GCPUsed() float64 { return t.gcpUsed }
+
+// AdvanceResult tells the controller what happened at a phase boundary.
+type AdvanceResult int
+
+const (
+	// AdvanceDone: the write completed; all tokens are released.
+	AdvanceDone AdvanceResult = iota
+	// AdvanceNext: the next phase's tokens are held; schedule its end.
+	AdvanceNext
+	// AdvanceWait: the next phase's tokens are unavailable; the write
+	// holds nothing and must Retry when tokens free up. Only Multi-RESET
+	// plans can hit this (demand is otherwise non-increasing).
+	AdvanceWait
+)
+
+// Scheduler admits writes and walks their plans against the power manager.
+// It is the run-time half of FPB; Planner is the policy half.
+type Scheduler struct {
+	cfg     *sim.Config
+	planner *Planner
+	mgr     *power.Manager
+
+	// Telemetry.
+	started      uint64
+	completed    uint64
+	mrWrites     uint64
+	multiRound   uint64
+	waitStalls   uint64
+	admitFailure uint64
+}
+
+// NewScheduler wires a scheduler over the power manager.
+func NewScheduler(cfg *sim.Config, mgr *power.Manager) *Scheduler {
+	return &Scheduler{cfg: cfg, planner: NewPlanner(cfg), mgr: mgr}
+}
+
+// Manager exposes the underlying power manager (for telemetry readers).
+func (s *Scheduler) Manager() *power.Manager { return s.mgr }
+
+// TryStart attempts to admit the write. Per the paper, the base plan is
+// tried first; if its first phase cannot be granted and Multi-RESET is
+// enabled, progressively larger RESET splits (2..MultiResetSplit) are tried
+// — the greedy "start a portion of the RESETs as early as possible"
+// strategy of Section 6.2. Returns (ticket, true) on admission.
+func (s *Scheduler) TryStart(prof *pcm.WriteProfile) (*Ticket, bool) {
+	if s.cfg.MultiResetAlways && s.cfg.UsesMultiReset() && prof.Changed > 0 {
+		// Ablation mode: unconditional split, no shortfall probe.
+		m := s.cfg.MultiResetSplit
+		if m > pcm.MaxMultiResetSplit {
+			m = pcm.MaxMultiResetSplit
+		}
+		plan := s.planner.PlanMR(prof, m)
+		if g, ok := s.mgr.TryAcquire(plan.Phases[0].Demand); ok {
+			s.mrWrites++
+			return s.admit(prof, plan, g), true
+		}
+		s.admitFailure++
+		return nil, false
+	}
+	plan := s.planner.Plan(prof)
+	if g, ok := s.mgr.TryAcquire(plan.Phases[0].Demand); ok {
+		return s.admit(prof, plan, g), true
+	}
+	if s.cfg.UsesMultiReset() && prof.Changed > 0 {
+		for m := 2; m <= s.cfg.MultiResetSplit && m <= pcm.MaxMultiResetSplit; m++ {
+			mrPlan := s.planner.PlanMR(prof, m)
+			if g, ok := s.mgr.TryAcquire(mrPlan.Phases[0].Demand); ok {
+				s.mrWrites++
+				return s.admit(prof, mrPlan, g), true
+			}
+		}
+	}
+	s.admitFailure++
+	return nil, false
+}
+
+func (s *Scheduler) admit(prof *pcm.WriteProfile, plan *WritePlan, g *power.Grant) *Ticket {
+	s.started++
+	if plan.Rounds > 1 {
+		s.multiRound++
+	}
+	return &Ticket{
+		Profile: prof,
+		Plan:    plan,
+		grant:   g,
+		gcpUsed: g.GCPTokens(),
+	}
+}
+
+// Advance moves the ticket past the end of its current phase. On
+// AdvanceNext the grant now covers the new phase; on AdvanceWait the write
+// holds no tokens and the controller must call Retry when power frees up;
+// on AdvanceDone everything is released and telemetry recorded.
+func (s *Scheduler) Advance(t *Ticket) AdvanceResult {
+	t.phase++
+	if t.phase >= len(t.Plan.Phases) {
+		s.finish(t)
+		return AdvanceDone
+	}
+	g, ok := s.mgr.Resize(t.grant, t.Plan.Phases[t.phase].Demand)
+	if !ok {
+		t.grant = nil
+		t.waiting = true
+		s.waitStalls++
+		return AdvanceWait
+	}
+	t.grant = g
+	t.gcpUsed += g.GCPTokens()
+	return AdvanceNext
+}
+
+// Retry attempts to acquire the tokens for the phase a waiting write is
+// stalled on. It reports whether the write may proceed.
+func (s *Scheduler) Retry(t *Ticket) bool {
+	if !t.waiting {
+		return true
+	}
+	g, ok := s.mgr.TryAcquire(t.Plan.Phases[t.phase].Demand)
+	if !ok {
+		return false
+	}
+	t.grant = g
+	t.gcpUsed += g.GCPTokens()
+	t.waiting = false
+	return true
+}
+
+// Pause releases the write's tokens at an iteration boundary (write
+// pausing, Qureshi et al. HPCA'10). The bank can then serve reads.
+func (s *Scheduler) Pause(t *Ticket) {
+	if t.paused {
+		return
+	}
+	s.mgr.Release(t.grant)
+	t.grant = nil
+	t.paused = true
+}
+
+// Resume re-acquires the paused phase's tokens; it reports whether the
+// write resumed (false: stay paused and retry later).
+func (s *Scheduler) Resume(t *Ticket) bool {
+	if !t.paused {
+		return true
+	}
+	g, ok := s.mgr.TryAcquire(t.Plan.Phases[t.phase].Demand)
+	if !ok {
+		return false
+	}
+	t.grant = g
+	t.gcpUsed += g.GCPTokens()
+	t.paused = false
+	return true
+}
+
+// Cancel abandons the write (write cancellation): all tokens are released
+// and the ticket becomes dead. The controller re-issues the write from
+// scratch later.
+func (s *Scheduler) Cancel(t *Ticket) {
+	s.mgr.Release(t.grant)
+	t.grant = nil
+	t.phase = len(t.Plan.Phases)
+}
+
+// finish completes the write.
+func (s *Scheduler) finish(t *Ticket) {
+	s.mgr.Release(t.grant)
+	t.grant = nil
+	s.mgr.RecordWriteGCPUsage(t.gcpUsed)
+	s.completed++
+}
+
+// Stats reports scheduler telemetry: admitted writes, completions,
+// Multi-RESET admissions, multi-round writes, and boundary stalls.
+func (s *Scheduler) Stats() (started, completed, mr, multiRound, stalls, admitFail uint64) {
+	return s.started, s.completed, s.mrWrites, s.multiRound, s.waitStalls, s.admitFailure
+}

@@ -1,0 +1,88 @@
+package cpu
+
+import (
+	"testing"
+
+	"fpb/internal/cache"
+	"fpb/internal/mem"
+	"fpb/internal/sim"
+	"fpb/internal/trace"
+	"fpb/internal/workload"
+)
+
+// TestCoresBlockOnFullReadQueue runs many cores against a tiny read queue;
+// every access misses, so cores must repeatedly wait for queue space, and
+// all must still finish.
+func TestCoresBlockOnFullReadQueue(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeIdeal
+	cfg.InstrPerCore = 600
+	cfg.ReadQueueEntries = 2
+	cfg.L3SizeMB = 1
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, nil)
+	finished := 0
+	var cores []*Core
+	for i := 0; i < cfg.Cores; i++ {
+		// Distinct cold lines per access, all cores to the same banks.
+		var accs []trace.Access
+		for k := 0; k < 700; k++ {
+			accs = append(accs, trace.Access{
+				Addr: uint64(i)<<40 | uint64(k)*uint64(cfg.L3LineB)*7,
+			})
+		}
+		hier := cache.NewHierarchy(&cfg)
+		mut := workload.NewMutator(workload.ValueInt, sim.NewRNG(uint64(i)))
+		c := New(i, eng, &cfg, hier, trace.NewSliceSource(accs), mut, mc,
+			func(*Core) { finished++ })
+		cores = append(cores, c)
+	}
+	for _, c := range cores {
+		c.Start()
+	}
+	for finished < len(cores) {
+		if !eng.Step() {
+			t.Fatalf("deadlock with full read queue: %d/%d cores finished",
+				finished, len(cores))
+		}
+	}
+	for _, c := range cores {
+		reads, _ := c.MemCounts()
+		if reads == 0 {
+			t.Errorf("core %d recorded no reads", c.ID)
+		}
+	}
+}
+
+// TestCoreBlocksOnFullWriteQueue drives dirty streaming through a 1-entry
+// write queue.
+func TestCoreBlocksOnFullWriteQueue(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeIdeal
+	cfg.InstrPerCore = 20000
+	cfg.WriteQueueEntries = 1
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.L3SizeMB = 1
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
+	hier := cache.NewHierarchy(&cfg)
+	mut := workload.NewMutator(workload.ValueStream, sim.NewRNG(1))
+	var accs []trace.Access
+	for k := 0; k < 21000; k++ {
+		accs = append(accs, trace.Access{Write: true, Addr: uint64(k) * 256})
+	}
+	done := false
+	c := New(0, eng, &cfg, hier, trace.NewSliceSource(accs), mut, mc,
+		func(*Core) { done = true })
+	c.Start()
+	for !done {
+		if !eng.Step() {
+			t.Fatal("deadlock with 1-entry write queue")
+		}
+	}
+	_, writes := c.MemCounts()
+	if writes == 0 {
+		t.Fatal("no writebacks with a full L3 stream")
+	}
+}

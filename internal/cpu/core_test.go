@@ -1,0 +1,139 @@
+package cpu
+
+import (
+	"testing"
+
+	"fpb/internal/cache"
+	"fpb/internal/mem"
+	"fpb/internal/sim"
+	"fpb/internal/trace"
+	"fpb/internal/workload"
+)
+
+func testRig(t *testing.T, accesses []trace.Access, budget uint64) (*sim.Engine, *Core, *mem.Controller) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeIdeal
+	cfg.InstrPerCore = budget
+	// Shrink the hierarchy so dirty-bit propagation (L1 → L2 → L3 →
+	// memory) completes within test-sized access counts.
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.L3SizeMB = 1
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
+	hier := cache.NewHierarchy(&cfg)
+	mut := workload.NewMutator(workload.ValueInt, sim.NewRNG(1))
+	var done bool
+	c := New(0, eng, &cfg, hier, trace.NewRepeat(accesses), mut, mc, func(*Core) { done = true })
+	_ = done
+	return eng, c, mc
+}
+
+func TestCoreRetiresBudget(t *testing.T) {
+	accs := []trace.Access{{Gap: 9, Addr: 0x40}}
+	eng, c, _ := testRig(t, accs, 1000)
+	c.Start()
+	eng.Run(0)
+	if !c.Finished() {
+		t.Fatal("core never finished")
+	}
+	if c.InstrRetired() < 1000 {
+		t.Errorf("retired %d instructions, want >= 1000", c.InstrRetired())
+	}
+	if c.FinishCycle() == 0 {
+		t.Error("finish cycle not recorded")
+	}
+	if c.CPI() <= 0 {
+		t.Error("CPI not positive")
+	}
+}
+
+func TestCoreCacheHitSpeed(t *testing.T) {
+	// Repeated access to one line: everything after the first fill is an
+	// L1 hit, so CPI ≈ (gap + L1 hit) / (gap + 1).
+	accs := []trace.Access{{Gap: 9, Addr: 0x40}}
+	eng, c, _ := testRig(t, accs, 100_000)
+	c.Start()
+	eng.Run(0)
+	cpi := c.CPI()
+	if cpi > 1.5 {
+		t.Errorf("hot-loop CPI = %.2f, want near (9+2)/10 = 1.1", cpi)
+	}
+}
+
+func TestCoreBlocksOnMemoryRead(t *testing.T) {
+	// Stream of cold lines: every access costs a PCM round trip, so CPI
+	// must be dominated by memory latency.
+	var accs []trace.Access
+	for i := 0; i < 4096; i++ {
+		accs = append(accs, trace.Access{Gap: 0, Addr: uint64(i) * 256 * 17}) // distinct lines
+	}
+	eng, c, _ := testRig(t, accs, 3000)
+	c.Start()
+	eng.Run(0)
+	if cpi := c.CPI(); cpi < 500 {
+		t.Errorf("cold-stream CPI = %.1f, want >> read latency/instr (>500)", cpi)
+	}
+	reads, _ := c.MemCounts()
+	if reads == 0 {
+		t.Error("no demand reads recorded")
+	}
+}
+
+func TestCoreGeneratesWritebacks(t *testing.T) {
+	// Dirty streaming stores over > L3 span force dirty evictions.
+	var accs []trace.Access
+	for i := 0; i < 3*4096; i++ { // 3x the 1MB L3 (4096 lines of 256B)
+		accs = append(accs, trace.Access{Gap: 0, Write: true, Addr: uint64(i) * 256})
+	}
+	eng, c, mc := testRig(t, accs, 9000)
+	c.Start()
+	eng.Run(0)
+	_, writes := c.MemCounts()
+	if writes == 0 {
+		t.Fatal("no writebacks enqueued")
+	}
+	_, _, _, done, _, _ := mc.Counts()
+	if done == 0 {
+		t.Error("no writes completed at the controller")
+	}
+}
+
+func TestCoreFinishesExactlyOnce(t *testing.T) {
+	finishes := 0
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeIdeal
+	cfg.InstrPerCore = 100
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, nil)
+	hier := cache.NewHierarchy(&cfg)
+	mut := workload.NewMutator(workload.ValueInt, sim.NewRNG(1))
+	c := New(0, eng, &cfg, hier, trace.NewRepeat([]trace.Access{{Gap: 4, Addr: 0x40}}),
+		mut, mc, func(*Core) { finishes++ })
+	c.Start()
+	eng.Run(0)
+	if finishes != 1 {
+		t.Errorf("onFinish ran %d times", finishes)
+	}
+}
+
+func TestCoreSourceExhaustionFinishes(t *testing.T) {
+	accs := []trace.Access{{Gap: 1, Addr: 0x40}, {Gap: 1, Addr: 0x80}}
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeIdeal
+	cfg.InstrPerCore = 1 << 40 // budget never reached
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, nil)
+	hier := cache.NewHierarchy(&cfg)
+	mut := workload.NewMutator(workload.ValueInt, sim.NewRNG(1))
+	c := New(0, eng, &cfg, hier, trace.NewSliceSource(accs), mut, mc, nil)
+	c.Start()
+	eng.Run(0)
+	if !c.Finished() {
+		t.Error("core did not finish on trace exhaustion")
+	}
+	if c.InstrRetired() != 4 {
+		t.Errorf("retired %d, want 4", c.InstrRetired())
+	}
+}

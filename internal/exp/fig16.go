@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+
+	"fpb/internal/sim"
+	"fpb/internal/stats"
+)
+
+// fpbVariant builds scheme columns on top of GCP-BIM-0.7 (the paper's
+// default for Section 6.2 onward).
+func fpbVariant(label string, scheme sim.Scheme, eff float64, mr int) Variant {
+	return Variant{
+		Label: label,
+		Mutate: func(c *sim.Config) {
+			c.Scheme = scheme
+			c.CellMapping = sim.MapBIM
+			c.GCPEff = eff
+			if mr > 0 {
+				c.MultiResetSplit = mr
+			}
+		},
+	}
+}
+
+// Figure 16: FPB-IPM and Multi-RESET on top of GCP-BIM-0.7, vs DIMM+chip,
+// with Ideal as the ceiling. IPM +26.9% over GCP-BIM; IPM+MR +30.7% over
+// GCP-BIM and +75.6% over DIMM+chip, within 12.2% of Ideal. gm0.5/gm0.3
+// show the geometric means when GCP efficiency drops.
+func init() {
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Figure 16: IPM and Multi-RESET speedup",
+		Paper: "vs DIMM+chip: IPM+MR +75.6% (within 12.2% of Ideal); IPM +26.9% over GCP-BIM; stable at E=0.5, drops at 0.3",
+		Run:   runFig16,
+	})
+}
+
+func runFig16(r *Runner) *stats.Table {
+	variants := []Variant{
+		fpbVariant("GCP-BIM", sim.SchemeGCP, 0.70, 0),
+		fpbVariant("IPM", sim.SchemeGCPIPM, 0.70, 0),
+		fpbVariant("IPM+MR", sim.SchemeGCPIPMMR, 0.70, 3),
+		{Label: "Ideal", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeIdeal }},
+	}
+	t := r.SpeedupTable("Figure 16: IPM and Multi-RESET speedup vs DIMM+chip", dimmChip, variants)
+
+	// gm0.5 / gm0.3 rows: geometric means with reduced GCP efficiency.
+	for _, eff := range []float64{0.5, 0.3} {
+		lowVariants := []Variant{
+			fpbVariant("GCP-BIM", sim.SchemeGCP, eff, 0),
+			fpbVariant("IPM", sim.SchemeGCPIPM, eff, 0),
+			fpbVariant("IPM+MR", sim.SchemeGCPIPMMR, eff, 3),
+			{Label: "Ideal", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeIdeal }},
+		}
+		var cfgs []sim.Config
+		for _, v := range lowVariants {
+			cfgs = append(cfgs, r.cfgOf(v))
+		}
+		r.Prewarm(append(cfgs, r.cfgOf(dimmChip)), r.Opt().Workloads)
+		gms := make([]float64, len(lowVariants))
+		for i, v := range lowVariants {
+			var ss []float64
+			for _, wl := range r.Opt().Workloads {
+				ss = append(ss, speedupOf(r, r.cfgOf(dimmChip), r.cfgOf(v), wl))
+			}
+			gms[i] = stats.GeoMean(ss)
+		}
+		t.AddRow(fmt.Sprintf("gm%.1f", eff), gms...)
+	}
+	return t
+}
+
+// Figure 17: how many sub-RESETs Multi-RESET should split into. The paper
+// finds 3 best; 4 loses ~2% to the longer write latency.
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Figure 17: Multi-RESET iteration split limit",
+		Paper: "best split is 3; 4 is ~2% worse due to added RESET latency",
+		Run:   runFig17,
+	})
+}
+
+func runFig17(r *Runner) *stats.Table {
+	variants := []Variant{
+		fpbVariant("IPM+MR2", sim.SchemeGCPIPMMR, 0.70, 2),
+		fpbVariant("IPM+MR3", sim.SchemeGCPIPMMR, 0.70, 3),
+		fpbVariant("IPM+MR4", sim.SchemeGCPIPMMR, 0.70, 4),
+	}
+	return r.SpeedupTable("Figure 17: Multi-RESET split count speedup vs DIMM+chip", dimmChip, variants)
+}
+
+// Figure 18: write throughput, normalized to DIMM+chip. The paper: GCP
+// +58.8%, GCP+IPM+MR 3.4x, Ideal 22% above full FPB.
+func init() {
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Figure 18: write throughput improvement",
+		Paper: "vs DIMM+chip: GCP 1.59x, GCP+IPM+MR 3.4x, Ideal 22% above FPB",
+		Run:   runFig18,
+	})
+}
+
+func runFig18(r *Runner) *stats.Table {
+	variants := []Variant{
+		fpbVariant("GCP", sim.SchemeGCP, 0.70, 0),
+		fpbVariant("GCP+IPM", sim.SchemeGCPIPM, 0.70, 0),
+		fpbVariant("GCP+IPM+MR", sim.SchemeGCPIPMMR, 0.70, 3),
+		{Label: "Ideal", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeIdeal }},
+	}
+	var cfgs []sim.Config
+	for _, v := range variants {
+		cfgs = append(cfgs, r.cfgOf(v))
+	}
+	r.Prewarm(append(cfgs, r.cfgOf(dimmChip)), r.Opt().Workloads)
+
+	cols := []string{"workload"}
+	for _, v := range variants {
+		cols = append(cols, v.Label)
+	}
+	t := stats.NewTable("Figure 18: write throughput normalized to DIMM+chip", cols...)
+	perVariant := make([][]float64, len(variants))
+	for _, wl := range r.Opt().Workloads {
+		base := r.Run(r.cfgOf(dimmChip), wl)
+		row := make([]float64, 0, len(variants))
+		for i, v := range variants {
+			res := r.Run(r.cfgOf(v), wl)
+			n := 0.0
+			if base.WriteThroughput > 0 {
+				n = res.WriteThroughput / base.WriteThroughput
+			}
+			row = append(row, n)
+			perVariant[i] = append(perVariant[i], n)
+		}
+		t.AddRow(wl, row...)
+	}
+	g := make([]float64, len(variants))
+	for i := range perVariant {
+		g[i] = stats.GeoMean(perVariant[i])
+	}
+	t.AddRow("gmean", g...)
+	return t
+}

@@ -1,0 +1,281 @@
+// Package exp defines one experiment per table and figure of the paper's
+// evaluation (Figures 2, 4, 10–23 and Table 3). Each experiment runs the
+// required simulations — memoized and in parallel across workloads and
+// schemes — and renders the same rows/series the paper reports, normalized
+// the same way (speedups over DIMM+chip for Section 6, over Ideal for
+// Figure 4).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fpb/internal/sim"
+	"fpb/internal/stats"
+	"fpb/internal/system"
+)
+
+// Workloads is the evaluation order of the 13 simulated workloads.
+var Workloads = []string{
+	"ast_m", "bwa_m", "lbm_m", "les_m", "mcf_m", "xal_m",
+	"mum_m", "tig_m", "qso_m", "cop_m", "mix_1", "mix_2", "mix_3",
+}
+
+// Options scales an experiment run.
+type Options struct {
+	// InstrPerCore is the per-core instruction budget of every
+	// simulation (default 100k; benchmarks use less, full paper-style
+	// runs more).
+	InstrPerCore uint64
+	// Workloads restricts the workload set (default: all 13).
+	Workloads []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.InstrPerCore == 0 {
+		o.InstrPerCore = 100_000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = Workloads
+	}
+	return o
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes the result the paper reports for this experiment
+	// (used by EXPERIMENTS.md generation).
+	Paper string
+	Run   func(r *Runner) *stats.Table
+}
+
+// Runner executes simulations with memoization; experiments share it so
+// common baselines (e.g. DIMM+chip) run once.
+type Runner struct {
+	opt   Options
+	mu    sync.Mutex
+	cache map[key]system.Result
+}
+
+type key struct {
+	cfg sim.Config
+	wl  string
+}
+
+// NewRunner builds a runner for the options.
+func NewRunner(opt Options) *Runner {
+	return &Runner{opt: opt.withDefaults(), cache: make(map[key]system.Result)}
+}
+
+// Opt returns the effective options.
+func (r *Runner) Opt() Options { return r.opt }
+
+// BaseConfig is the Table 1 configuration at the runner's scale.
+func (r *Runner) BaseConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.InstrPerCore = r.opt.InstrPerCore
+	return cfg
+}
+
+// Run simulates one (config, workload) pair, memoized.
+func (r *Runner) Run(cfg sim.Config, wl string) system.Result {
+	k := key{cfg: cfg, wl: wl}
+	r.mu.Lock()
+	if res, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+	res, err := system.RunWorkload(cfg, wl)
+	if err != nil {
+		panic(fmt.Sprintf("exp: running %s: %v", wl, err)) // configs are code, not input
+	}
+	r.mu.Lock()
+	r.cache[k] = res
+	r.mu.Unlock()
+	return res
+}
+
+// Prewarm runs all (config, workload) combinations in parallel, bounded by
+// GOMAXPROCS, so subsequent Run calls hit the cache.
+func (r *Runner) Prewarm(cfgs []sim.Config, wls []string) {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, cfg := range cfgs {
+		for _, wl := range wls {
+			cfg, wl := cfg, wl
+			r.mu.Lock()
+			_, cached := r.cache[key{cfg: cfg, wl: wl}]
+			r.mu.Unlock()
+			if cached {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r.Run(cfg, wl)
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// systemResult shortens metric-closure signatures in the figure files.
+type systemResult = system.Result
+
+// Variant is one labeled configuration column of a figure.
+type Variant struct {
+	Label  string
+	Mutate func(*sim.Config)
+}
+
+func (r *Runner) cfgOf(v Variant) sim.Config {
+	cfg := r.BaseConfig()
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	return cfg
+}
+
+// SpeedupTable renders per-workload speedups of each variant over the norm
+// variant (Eq. 7: CPI_norm / CPI_variant), plus a gmean row — the layout of
+// every speedup figure in the paper.
+func (r *Runner) SpeedupTable(title string, norm Variant, variants []Variant) *stats.Table {
+	cfgs := []sim.Config{r.cfgOf(norm)}
+	for _, v := range variants {
+		cfgs = append(cfgs, r.cfgOf(v))
+	}
+	r.Prewarm(cfgs, r.opt.Workloads)
+
+	cols := []string{"workload"}
+	for _, v := range variants {
+		cols = append(cols, v.Label)
+	}
+	t := stats.NewTable(title, cols...)
+	perVariant := make([][]float64, len(variants))
+	for _, wl := range r.opt.Workloads {
+		base := r.Run(r.cfgOf(norm), wl)
+		row := make([]float64, 0, len(variants))
+		for i, v := range variants {
+			s := system.Speedup(base, r.Run(r.cfgOf(v), wl))
+			row = append(row, s)
+			perVariant[i] = append(perVariant[i], s)
+		}
+		t.AddRow(wl, row...)
+	}
+	gmeans := make([]float64, len(variants))
+	for i := range variants {
+		gmeans[i] = stats.GeoMean(perVariant[i])
+	}
+	t.AddRow("gmean", gmeans...)
+	return t
+}
+
+// MetricTable renders an arbitrary per-workload metric for each variant,
+// with an aggregate row computed by agg (e.g. max for Fig. 13, mean for
+// Fig. 14).
+func (r *Runner) MetricTable(title string, variants []Variant,
+	metric func(system.Result) float64, aggLabel string,
+	agg func([]float64) float64) *stats.Table {
+	cfgs := make([]sim.Config, 0, len(variants))
+	for _, v := range variants {
+		cfgs = append(cfgs, r.cfgOf(v))
+	}
+	r.Prewarm(cfgs, r.opt.Workloads)
+
+	cols := []string{"workload"}
+	for _, v := range variants {
+		cols = append(cols, v.Label)
+	}
+	t := stats.NewTable(title, cols...)
+	perVariant := make([][]float64, len(variants))
+	for _, wl := range r.opt.Workloads {
+		row := make([]float64, 0, len(variants))
+		for i, v := range variants {
+			m := metric(r.Run(r.cfgOf(v), wl))
+			row = append(row, m)
+			perVariant[i] = append(perVariant[i], m)
+		}
+		t.AddRow(wl, row...)
+	}
+	aggs := make([]float64, len(variants))
+	for i := range perVariant {
+		aggs[i] = agg(perVariant[i])
+	}
+	t.AddRow(aggLabel, aggs...)
+	return t
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// registry is populated by the figure files' init functions.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// paperOrder fixes the presentation order independent of init order.
+var paperOrder = []string{
+	"fig2", "fig4", "fig10", "fig11", "fig12", "fig13", "tab3", "fig14",
+	"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+	"fig22", "fig23", "abl-gcpsize", "abl-mrtrigger", "abl-setratio", "abl-halfstripe",
+}
+
+// All returns every experiment in paper order (unlisted experiments come
+// last in registration order).
+func All() []Experiment {
+	rank := make(map[string]int, len(paperOrder))
+	for i, id := range paperOrder {
+		rank[id] = i
+	}
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].ID]
+		rj, jok := rank[out[j].ID]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		}
+		return false
+	})
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

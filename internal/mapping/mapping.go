@@ -1,0 +1,141 @@
+// Package mapping implements the static cell-to-chip mappings of the paper
+// (Section 4.3): the naïve mapping (NE), Vertical Interleaving Mapping
+// (VIM, Eq. 2) and Braided Interleaving Mapping (BIM, Eq. 3), plus the
+// intra-line wear-leveling rotation used by the PWL heuristic of Section 2.2.
+//
+// All mappings are pure functions from a logical cell index within a memory
+// line to the physical chip that stores the cell. The mapping determines how
+// a write's cell changes distribute across chips, and therefore how hard the
+// per-chip power budget bites.
+package mapping
+
+import "fpb/internal/sim"
+
+// Func maps a logical cell index (0..cellsPerLine-1) to a chip index
+// (0..chips-1).
+type Func func(cell int) int
+
+// wordCells is the number of consecutive logical cells forming one 32-bit
+// word in the paper's Fig. 9 illustration (16 2-bit cells per 32-bit word).
+const wordCells = 16
+
+// New returns the mapping function for the given scheme.
+//
+//   - NE (naïve): consecutive cells stored within one chip; cell i lives in
+//     chip i/(cellsPerLine/chips) (Fig. 9b).
+//   - VIM: chip = cell mod chips (Eq. 2) — consecutive cells round-robin
+//     across chips, spreading a word's cells over all chips.
+//   - BIM: chip = (cell - cell/16) mod chips (Eq. 3) — like VIM but with a
+//     per-word skew so that same-significance cells of different words land
+//     on different chips, balancing integer low-order-bit churn.
+func New(m sim.Mapping, cellsPerLine, chips int) Func {
+	switch m {
+	case sim.MapVIM:
+		return func(cell int) int { return cell % chips }
+	case sim.MapBIM:
+		return func(cell int) int { return (cell - cell/wordCells) % chips }
+	default:
+		perChip := cellsPerLine / chips
+		return func(cell int) int { return cell / perChip }
+	}
+}
+
+// Rotator implements the overhead-free near-perfect intra-line wear leveling
+// used by the PWL heuristic: each line's logical cells are rotated by a
+// per-line offset, and the offset is re-randomized every ShiftEvery writes
+// to that line (the paper evaluates shifts every 8–100 writes). The rotation
+// feeds the cell mapping: PWL's effect is to spread hot cell positions over
+// all chips over time.
+type Rotator struct {
+	ShiftEvery int
+	cells      int
+	rng        *sim.RNG
+	offsets    map[uint64]int
+	writes     map[uint64]int
+}
+
+// NewRotator creates a rotator for lines of cellsPerLine cells, drawing
+// offsets from rng. shiftEvery <= 0 disables rotation (offset stays 0).
+func NewRotator(cellsPerLine, shiftEvery int, rng *sim.RNG) *Rotator {
+	return &Rotator{
+		ShiftEvery: shiftEvery,
+		cells:      cellsPerLine,
+		rng:        rng,
+		offsets:    make(map[uint64]int),
+		writes:     make(map[uint64]int),
+	}
+}
+
+// Offset returns the current rotation offset for a line.
+func (r *Rotator) Offset(lineAddr uint64) int {
+	if r == nil || r.ShiftEvery <= 0 {
+		return 0
+	}
+	return r.offsets[lineAddr]
+}
+
+// RecordWrite notes a write to the line and re-randomizes its offset every
+// ShiftEvery writes.
+func (r *Rotator) RecordWrite(lineAddr uint64) {
+	if r == nil || r.ShiftEvery <= 0 {
+		return
+	}
+	r.writes[lineAddr]++
+	if r.writes[lineAddr]%r.ShiftEvery == 0 {
+		r.offsets[lineAddr] = r.rng.Intn(r.cells)
+	}
+}
+
+// Rotated composes a mapping function with a rotation offset: logical cell i
+// is stored at physical position (i+offset) mod cells before mapping.
+func Rotated(f Func, offset, cells int) Func {
+	if offset == 0 {
+		return f
+	}
+	return func(cell int) int { return f((cell + offset) % cells) }
+}
+
+// HalfStripe narrows a mapping to half the chips (the paper's Section 2.1
+// design alternative): the line's cells land on chips [0, chips/2) or
+// [chips/2, chips) depending on upper, with the inner mapping's structure
+// preserved modulo the half. Alternating halves by line index balances
+// chip wear and load across lines.
+func HalfStripe(inner Func, chips int, upper bool) Func {
+	half := chips / 2
+	base := 0
+	if upper {
+		base = half
+	}
+	return func(cell int) int { return base + inner(cell)%half }
+}
+
+// PerChipCounts tallies how many of the given cell indices land on each
+// chip under mapping f.
+func PerChipCounts(cells []int, f Func, chips int) []int {
+	counts := make([]int, chips)
+	for _, c := range cells {
+		counts[f(c)]++
+	}
+	return counts
+}
+
+// Imbalance returns max/mean of per-chip counts — 1.0 means perfectly
+// balanced. Used by tests and the mapping-study example to quantify how
+// well VIM/BIM spread changes.
+func Imbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	sum, max := 0, 0
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(max) / mean
+}

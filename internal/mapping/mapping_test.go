@@ -1,0 +1,239 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fpb/internal/sim"
+)
+
+const (
+	testCells = 1024 // 256B line, 2-bit MLC
+	testChips = 8
+)
+
+func TestNaiveMappingBlocks(t *testing.T) {
+	f := New(sim.MapNaive, testCells, testChips)
+	perChip := testCells / testChips
+	for cell := 0; cell < testCells; cell++ {
+		if got, want := f(cell), cell/perChip; got != want {
+			t.Fatalf("NE(%d) = %d, want %d", cell, got, want)
+		}
+	}
+}
+
+func TestVIMEquation2(t *testing.T) {
+	f := New(sim.MapVIM, testCells, testChips)
+	for cell := 0; cell < testCells; cell++ {
+		if got, want := f(cell), cell%testChips; got != want {
+			t.Fatalf("VIM(%d) = %d, want %d", cell, got, want)
+		}
+	}
+}
+
+func TestBIMEquation3(t *testing.T) {
+	f := New(sim.MapBIM, testCells, testChips)
+	for cell := 0; cell < testCells; cell++ {
+		if got, want := f(cell), (cell-cell/16)%testChips; got != want {
+			t.Fatalf("BIM(%d) = %d, want %d", cell, got, want)
+		}
+	}
+}
+
+func TestBIMSkewsWordsAcrossChips(t *testing.T) {
+	// The first cell (lowest-order cell) of consecutive words must land on
+	// different chips under BIM — that is its whole point for integer data.
+	f := New(sim.MapBIM, testCells, testChips)
+	first := f(0)
+	same := true
+	for w := 1; w < 8; w++ {
+		if f(w*16) != first {
+			same = false
+		}
+	}
+	if same {
+		t.Error("BIM maps the low-order cell of every word to the same chip")
+	}
+	// VIM, by contrast, puts cell 0 of every word on chip 0.
+	v := New(sim.MapVIM, testCells, testChips)
+	for w := 0; w < 8; w++ {
+		if v(w*16) != 0 {
+			t.Error("VIM should map word-start cells all to chip 0")
+		}
+	}
+}
+
+func TestMappingsAreBalancedOverFullLine(t *testing.T) {
+	for _, m := range []sim.Mapping{sim.MapNaive, sim.MapVIM, sim.MapBIM} {
+		f := New(m, testCells, testChips)
+		all := make([]int, testCells)
+		for i := range all {
+			all[i] = i
+		}
+		counts := PerChipCounts(all, f, testChips)
+		for c, n := range counts {
+			if n != testCells/testChips {
+				t.Errorf("%v: chip %d holds %d cells, want %d", m, c, n, testCells/testChips)
+			}
+		}
+	}
+}
+
+func TestVIMBalancesLowOrderChurn(t *testing.T) {
+	// Integer-style churn: the low 4 cells of every word change. Under NE
+	// this clusters on few chips; under VIM/BIM it spreads.
+	var churn []int
+	for w := 0; w < testCells/16; w++ {
+		for c := 0; c < 4; c++ {
+			churn = append(churn, w*16+c)
+		}
+	}
+	ne := Imbalance(PerChipCounts(churn, New(sim.MapNaive, testCells, testChips), testChips))
+	vim := Imbalance(PerChipCounts(churn, New(sim.MapVIM, testCells, testChips), testChips))
+	bim := Imbalance(PerChipCounts(churn, New(sim.MapBIM, testCells, testChips), testChips))
+	if bim > vim+1e-9 && bim > 1.01 {
+		t.Errorf("BIM imbalance %.3f should not exceed VIM %.3f on word churn", bim, vim)
+	}
+	if vim > 2.01 {
+		// VIM spreads the 4 changed cells of each word over chips 0..3
+		// only — imbalance 2 — while BIM rotates them across all 8.
+		t.Errorf("VIM imbalance = %.3f, want <= 2", vim)
+	}
+	if bim > 1.01 {
+		t.Errorf("BIM imbalance = %.3f, want ~1 (perfectly braided)", bim)
+	}
+	_ = ne // NE is balanced here too (every chip holds 2 words' cells).
+}
+
+func TestBIMBalancesSingleHotWord(t *testing.T) {
+	// A single hot word: all 16 cells change. NE puts them all on one
+	// chip; VIM/BIM spread them over all 8 chips.
+	var churn []int
+	for c := 0; c < 16; c++ {
+		churn = append(churn, 128+c)
+	}
+	ne := Imbalance(PerChipCounts(churn, New(sim.MapNaive, testCells, testChips), testChips))
+	vim := Imbalance(PerChipCounts(churn, New(sim.MapVIM, testCells, testChips), testChips))
+	if ne < 7.9 {
+		t.Errorf("NE imbalance for one hot word = %.2f, want 8 (all on one chip)", ne)
+	}
+	if vim > 1.01 {
+		t.Errorf("VIM imbalance for one hot word = %.2f, want 1", vim)
+	}
+}
+
+func TestMappingRangeProperty(t *testing.T) {
+	for _, m := range []sim.Mapping{sim.MapNaive, sim.MapVIM, sim.MapBIM} {
+		f := New(m, testCells, testChips)
+		err := quick.Check(func(c uint16) bool {
+			chip := f(int(c) % testCells)
+			return chip >= 0 && chip < testChips
+		}, nil)
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestRotator(t *testing.T) {
+	r := NewRotator(testCells, 4, sim.NewRNG(5))
+	if r.Offset(0x100) != 0 {
+		t.Error("initial offset must be 0")
+	}
+	for i := 0; i < 3; i++ {
+		r.RecordWrite(0x100)
+	}
+	if r.Offset(0x100) != 0 {
+		t.Error("offset changed before ShiftEvery writes")
+	}
+	r.RecordWrite(0x100)
+	// After 4 writes the offset re-randomizes (may be 0 by chance, so try
+	// several lines and require at least one nonzero).
+	changed := r.Offset(0x100) != 0
+	for l := uint64(0); l < 20 && !changed; l++ {
+		for i := 0; i < 4; i++ {
+			r.RecordWrite(l)
+		}
+		changed = r.Offset(l) != 0
+	}
+	if !changed {
+		t.Error("rotator never produced a nonzero offset")
+	}
+}
+
+func TestRotatorDisabled(t *testing.T) {
+	r := NewRotator(testCells, 0, sim.NewRNG(5))
+	for i := 0; i < 100; i++ {
+		r.RecordWrite(7)
+	}
+	if r.Offset(7) != 0 {
+		t.Error("disabled rotator rotated")
+	}
+	var nilR *Rotator
+	nilR.RecordWrite(1) // must not panic
+	if nilR.Offset(1) != 0 {
+		t.Error("nil rotator offset nonzero")
+	}
+}
+
+func TestRotatedMapping(t *testing.T) {
+	f := New(sim.MapVIM, testCells, testChips)
+	g := Rotated(f, 3, testCells)
+	for cell := 0; cell < 32; cell++ {
+		if got, want := g(cell), (cell+3)%testChips; got != want {
+			t.Fatalf("rotated VIM(%d) = %d, want %d", cell, got, want)
+		}
+	}
+	// Zero offset returns the original function's behaviour.
+	h := Rotated(f, 0, testCells)
+	for cell := 0; cell < 32; cell++ {
+		if h(cell) != f(cell) {
+			t.Fatal("zero-offset rotation altered mapping")
+		}
+	}
+}
+
+func TestHalfStripeMapping(t *testing.T) {
+	inner := New(sim.MapVIM, testCells, testChips)
+	lower := HalfStripe(inner, testChips, false)
+	upper := HalfStripe(inner, testChips, true)
+	for cell := 0; cell < testCells; cell++ {
+		if c := lower(cell); c < 0 || c >= 4 {
+			t.Fatalf("lower half mapped cell %d to chip %d", cell, c)
+		}
+		if c := upper(cell); c < 4 || c >= 8 {
+			t.Fatalf("upper half mapped cell %d to chip %d", cell, c)
+		}
+		if upper(cell)-lower(cell) != 4 {
+			t.Fatalf("halves not congruent at cell %d", cell)
+		}
+	}
+	// The half keeps the inner interleave structure modulo 4.
+	all := make([]int, testCells)
+	for i := range all {
+		all[i] = i
+	}
+	counts := PerChipCounts(all, lower, testChips)
+	for c := 0; c < 4; c++ {
+		if counts[c] != testCells/4 {
+			t.Errorf("chip %d holds %d cells, want %d", c, counts[c], testCells/4)
+		}
+	}
+	for c := 4; c < 8; c++ {
+		if counts[c] != 0 {
+			t.Errorf("upper chip %d holds %d cells under lower half", c, counts[c])
+		}
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	if Imbalance(nil) != 0 {
+		t.Error("Imbalance(nil) != 0")
+	}
+	if Imbalance([]int{0, 0}) != 0 {
+		t.Error("Imbalance of zeros != 0")
+	}
+	if got := Imbalance([]int{4, 4, 4, 4}); got != 1 {
+		t.Errorf("balanced imbalance = %g, want 1", got)
+	}
+}

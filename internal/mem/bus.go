@@ -1,0 +1,48 @@
+// Package mem implements the PCM memory subsystem of Figure 1: the on-CPU
+// memory controller (read/write queues, reads-first scheduling, the
+// write-burst policy of Hay et al.), the on-DIMM bridge chip that owns
+// non-deterministic MLC write management (universal memory interface, Fang
+// et al. PACT'11), bank state machines, and the data buses. The bridge
+// drives internal/core's FPB scheduler at every iteration boundary and
+// integrates write cancellation, write pausing and write truncation.
+package mem
+
+import "fpb/internal/sim"
+
+// transferBytesPerCycle is the data-bus width: 8 bytes per CPU cycle
+// (DDR3-1066x16-class bandwidth against a 4 GHz core clock).
+const transferBytesPerCycle = 8
+
+// Bus is a serially shared resource (a data channel). Reservations are
+// granted in request order at the earliest free time.
+type Bus struct {
+	freeAt sim.Cycle
+	busy   sim.Cycle // accumulated occupancy for utilization stats
+}
+
+// Reserve books the bus for duration cycles starting no earlier than now;
+// it returns the granted start time.
+func (b *Bus) Reserve(now sim.Cycle, duration sim.Cycle) sim.Cycle {
+	start := now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	b.freeAt = start + duration
+	b.busy += duration
+	return start
+}
+
+// FreeAt reports when the bus next becomes free.
+func (b *Bus) FreeAt() sim.Cycle { return b.freeAt }
+
+// BusyCycles reports total reserved cycles.
+func (b *Bus) BusyCycles() sim.Cycle { return b.busy }
+
+// transferCycles returns the channel occupancy of moving lineB bytes.
+func transferCycles(lineB int) sim.Cycle {
+	c := sim.Cycle(lineB / transferBytesPerCycle)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,364 @@
+package mem
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// testConfig returns a configuration tuned for controller unit tests:
+// moderate queues, deterministic seed.
+func testConfig(scheme sim.Scheme) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.ReadQueueEntries = 4
+	cfg.WriteQueueEntries = 4
+	return cfg
+}
+
+// mkLine builds a line whose first n bytes differ from the baseline (zero).
+func mkLine(cfg *sim.Config, n int) []byte {
+	data := make([]byte, cfg.L3LineB)
+	for i := 0; i < n && i < len(data); i++ {
+		data[i] = 0xA5
+	}
+	return data
+}
+
+func newCtl(t *testing.T, scheme sim.Scheme, mutate func(*sim.Config)) (*sim.Engine, *Controller, *sim.Config) {
+	t.Helper()
+	cfg := testConfig(scheme)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng := sim.NewEngine()
+	// nil baseline: untouched lines read as all zeros.
+	return eng, NewController(eng, &cfg, nil), &cfg
+}
+
+func TestReadCompletesWithCallback(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	done := false
+	if !c.TryEnqueueRead(0x1234, func() { done = true }) {
+		t.Fatal("read not accepted by empty queue")
+	}
+	eng.Run(0)
+	if !done {
+		t.Fatal("read callback never fired")
+	}
+	reads, _, _, _, _, _ := c.Counts()
+	if reads != 1 {
+		t.Errorf("demand reads = %d", reads)
+	}
+	// Latency: MCToBank + array + transfer + MCToBank.
+	wantMin := float64(cfg.MCToBank + cfg.PCMReadCycles + cfg.MCToBank)
+	if got := c.ReadLatency().Mean(); got < wantMin {
+		t.Errorf("read latency %g below physical minimum %g", got, wantMin)
+	}
+}
+
+func TestReadQueueCapacity(t *testing.T) {
+	_, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	accepted := 0
+	for i := 0; i < cfg.ReadQueueEntries+3; i++ {
+		// All to the same bank so nothing issues... reads issue
+		// immediately on idle banks; use distinct addresses on one
+		// bank via stride banks*lineB.
+		addr := uint64(i) * uint64(cfg.Banks) * uint64(cfg.L3LineB)
+		if c.TryEnqueueRead(addr, nil) {
+			accepted++
+		}
+	}
+	// One read issues immediately (bank idle), so capacity+1 fit before
+	// rejection.
+	if accepted > cfg.ReadQueueEntries+1 {
+		t.Errorf("accepted %d reads, queue cap %d", accepted, cfg.ReadQueueEntries)
+	}
+	if accepted == cfg.ReadQueueEntries+3 {
+		t.Error("queue never filled")
+	}
+}
+
+func TestWriteCompletesAndStores(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	data := mkLine(cfg, 32)
+	if !c.TryEnqueueWrite(0x100, data) {
+		t.Fatal("write not accepted")
+	}
+	eng.Run(0)
+	_, _, _, writes, _, _ := c.Counts()
+	if writes != 1 {
+		t.Fatalf("writes done = %d", writes)
+	}
+	got := c.Store().Get(c.amap.LineAddr(0x100))
+	if got == nil || got[0] != 0xA5 {
+		t.Error("store content not committed")
+	}
+	if c.CellChanges().N() != 1 || c.CellChanges().Mean() == 0 {
+		t.Error("cell-change telemetry missing")
+	}
+	if !c.Drained() {
+		t.Error("controller not drained after completion")
+	}
+}
+
+func TestWriteBurstTriggersAndDrains(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	// Keep every bank busy with reads so writes pile up; then fill WRQ.
+	for b := 0; b < cfg.Banks; b++ {
+		c.TryEnqueueRead(uint64(b)*uint64(cfg.L3LineB), nil)
+	}
+	for i := 0; i < cfg.WriteQueueEntries; i++ {
+		if !c.TryEnqueueWrite(uint64(0x10000+i*cfg.L3LineB), mkLine(cfg, 8)) {
+			t.Fatalf("write %d rejected before queue full", i)
+		}
+	}
+	if !c.InBurst() {
+		t.Fatal("full write queue did not trigger a burst")
+	}
+	if c.TryEnqueueWrite(0x999000, mkLine(cfg, 8)) {
+		t.Fatal("write accepted past capacity")
+	}
+	eng.Run(0)
+	if c.InBurst() {
+		t.Error("burst did not end after drain")
+	}
+	if c.BurstCycles() == 0 {
+		t.Error("burst cycles not accounted")
+	}
+	_, _, _, writes, _, _ := c.Counts()
+	if writes != uint64(cfg.WriteQueueEntries) {
+		t.Errorf("writes done = %d, want %d", writes, cfg.WriteQueueEntries)
+	}
+}
+
+func TestReadsBlockedDuringBurst(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	// Fill the write queue to trigger a burst; writes to one bank so the
+	// burst lasts a while.
+	// The first write issues immediately (its bank is idle), so it takes
+	// capacity+1 enqueues to fill the queue and trigger the burst.
+	for i := 0; i <= cfg.WriteQueueEntries; i++ {
+		c.TryEnqueueWrite(uint64(i)*uint64(cfg.Banks)*uint64(cfg.L3LineB), mkLine(cfg, 200))
+	}
+	if !c.InBurst() {
+		t.Fatal("no burst")
+	}
+	readDoneAt := sim.Cycle(0)
+	c.TryEnqueueRead(uint64(3)*uint64(cfg.L3LineB), func() { readDoneAt = eng.Now() })
+	// The read's bank (3) is idle, but burst blocks it until the write
+	// queue drains.
+	var burstEnd sim.Cycle
+	for eng.Step() {
+		if !c.InBurst() && burstEnd == 0 {
+			burstEnd = eng.Now()
+		}
+	}
+	if readDoneAt == 0 {
+		t.Fatal("read never completed")
+	}
+	if burstEnd == 0 || readDoneAt < burstEnd {
+		t.Errorf("read completed at %d, before burst end %d", readDoneAt, burstEnd)
+	}
+}
+
+func TestWritesWaitForReads(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	// Bank 0 is busy with read A; a write and read B queue behind it.
+	// When the bank frees, the reads-first policy must issue B before
+	// the write.
+	bankStride := uint64(cfg.Banks * cfg.L3LineB)
+	var readBAt, writeAt sim.Cycle
+	c.TryEnqueueRead(0, nil)                                       // A: issues immediately
+	c.TryEnqueueWrite(bankStride, mkLine(cfg, 100))                // W: same bank, queued
+	c.TryEnqueueRead(2*bankStride, func() { readBAt = eng.Now() }) // B: same bank, queued
+	for eng.Step() {
+		_, _, _, writes, _, _ := c.Counts()
+		if writes == 1 && writeAt == 0 {
+			writeAt = eng.Now()
+		}
+	}
+	if readBAt == 0 || writeAt == 0 {
+		t.Fatal("read or write never completed")
+	}
+	if writeAt < readBAt {
+		t.Errorf("write completed at %d before queued read at %d (reads-first violated)",
+			writeAt, readBAt)
+	}
+}
+
+func TestWritePausingServesRead(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, func(cfg *sim.Config) {
+		cfg.WritePausing = true
+		cfg.Scheme = sim.SchemeGCPIPM // iteration boundaries exist
+	})
+	// Long write on bank 0.
+	c.TryEnqueueWrite(0, mkLine(cfg, 250))
+	// Let the write start.
+	eng.RunUntil(eng.Now() + 3000)
+	readDone := false
+	c.TryEnqueueRead(uint64(cfg.Banks*cfg.L3LineB), nil) // other bank
+	c.TryEnqueueRead(0, func() { readDone = true })      // same bank → pause
+	eng.Run(0)
+	if !readDone {
+		t.Fatal("read to writing bank never completed")
+	}
+	_, _, _, writes, _, pauses := c.Counts()
+	if writes != 1 {
+		t.Errorf("write lost: %d done", writes)
+	}
+	if pauses == 0 {
+		t.Error("no pause recorded despite WP enabled")
+	}
+}
+
+func TestWriteCancellationRestartsWrite(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, func(cfg *sim.Config) {
+		cfg.WriteCancellation = true
+	})
+	c.TryEnqueueWrite(0, mkLine(cfg, 250))
+	// Give the write a head start but stay below the 75% progress bar
+	// (per-write plans have a single phase, progress 0 until done).
+	eng.RunUntil(eng.Now() + 2000)
+	readDone := false
+	c.TryEnqueueRead(0, func() { readDone = true })
+	eng.Run(0)
+	if !readDone {
+		t.Fatal("read never completed")
+	}
+	_, _, _, writes, cancels, _ := c.Counts()
+	if cancels == 0 {
+		t.Error("no cancellation recorded")
+	}
+	if writes != 1 {
+		t.Errorf("cancelled write never re-executed: %d done", writes)
+	}
+}
+
+func TestSche48ScansPastPowerDenied(t *testing.T) {
+	// Two writes: the head demands more tokens than remain, the second
+	// fits. Without sche-X the second stalls behind the first; with it,
+	// the second issues out of order.
+	mk := func(ooo int) (done2 sim.Cycle, done1 sim.Cycle) {
+		eng, c, cfg := newCtl(t, sim.SchemeDIMMOnly, func(cfg *sim.Config) {
+			cfg.DIMMTokens = 300
+			cfg.WriteQueueEntries = 8
+			cfg.WriteQueueSched = ooo
+		})
+		// Occupy 200 tokens with a long write on bank 0.
+		c.TryEnqueueWrite(0, mkLine(cfg, 50)) // ~200 cells changed
+		eng.RunUntil(10)
+		// Head write wants ~800 cells (too much: multi-round still
+		// needs 300... mkLine(cfg,250) changes ~1000 cells → 2 rounds
+		// of 500 > 300 available→ wait). Second write is small.
+		c.TryEnqueueWrite(uint64(cfg.L3LineB), mkLine(cfg, 250))
+		c.TryEnqueueWrite(uint64(2*cfg.L3LineB), mkLine(cfg, 4))
+		var t1, t2 sim.Cycle
+		prev := uint64(0)
+		for eng.Step() {
+			_, _, _, writes, _, _ := c.Counts()
+			if writes > prev {
+				prev = writes
+				switch writes {
+				case 2:
+					t1 = eng.Now()
+				case 3:
+					t2 = eng.Now()
+				}
+			}
+		}
+		return t2, t1
+	}
+	// The small write is the 2nd completion in both cases (the blocked
+	// head is a long multi-round write); out-of-order power scheduling
+	// (the default, WriteQueueSched >= 0) must finish it sooner than the
+	// strict-FIFO ablation mode (-1).
+	_, smallOOO := mk(48)
+	_, smallFIFO := mk(-1)
+	if smallOOO == 0 || smallFIFO == 0 {
+		t.Fatal("writes did not complete")
+	}
+	if smallOOO >= smallFIFO {
+		t.Errorf("sche-48 did not reorder: small write at %d (ooo) vs %d (fifo)",
+			smallOOO, smallFIFO)
+	}
+}
+
+func TestFillReadsAreBestEffort(t *testing.T) {
+	eng, c, _ := newCtl(t, sim.SchemeIdeal, nil)
+	for i := 0; i < maxFillQueue+10; i++ {
+		c.EnqueueFillRead(uint64(i * 256 * 8)) // same bank
+	}
+	_, _, dropped, _, _, _ := c.Counts()
+	if dropped == 0 {
+		t.Error("fill queue never dropped under saturation")
+	}
+	eng.Run(0)
+	if !c.Drained() {
+		t.Error("fills not drained")
+	}
+}
+
+func TestWaitersNotified(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, nil)
+	// Saturate write queue.
+	for i := 0; c.TryEnqueueWrite(uint64(i*cfg.L3LineB), mkLine(cfg, 8)); i++ {
+	}
+	notified := false
+	c.WaitWriteSpace(func() {
+		notified = true
+		if !c.TryEnqueueWrite(0xABC00, mkLine(cfg, 8)) {
+			t.Error("waiter found no space")
+		}
+	})
+	eng.Run(0)
+	if !notified {
+		t.Error("write-space waiter never notified")
+	}
+}
+
+func TestPWLRotatorEngaged(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeDIMMChip, func(cfg *sim.Config) {
+		cfg.PWL = true
+		cfg.PWLShiftWrites = 2
+	})
+	if c.rot == nil {
+		t.Fatal("PWL rotator not constructed")
+	}
+	for i := 0; i < 6; i++ {
+		c.TryEnqueueWrite(0, mkLine(cfg, 64))
+		eng.Run(0)
+	}
+	_, _, _, writes, _, _ := c.Counts()
+	if writes != 6 {
+		t.Errorf("writes = %d, want 6", writes)
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	var b Bus
+	s1 := b.Reserve(100, 32)
+	s2 := b.Reserve(100, 32)
+	if s1 != 100 || s2 != 132 {
+		t.Errorf("reservations at %d and %d, want 100 and 132", s1, s2)
+	}
+	if b.FreeAt() != 164 {
+		t.Errorf("FreeAt = %d", b.FreeAt())
+	}
+	if b.BusyCycles() != 64 {
+		t.Errorf("BusyCycles = %d", b.BusyCycles())
+	}
+	// Reservation after the bus is idle again starts immediately.
+	if s3 := b.Reserve(500, 10); s3 != 500 {
+		t.Errorf("idle reservation at %d", s3)
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	if transferCycles(256) != 32 {
+		t.Errorf("256B transfer = %d cycles, want 32", transferCycles(256))
+	}
+	if transferCycles(4) != 1 {
+		t.Error("sub-width transfer must cost at least 1 cycle")
+	}
+}

@@ -1,0 +1,31 @@
+package mem
+
+import "fmt"
+
+// DumpState prints internal queue/bank state for deadlock debugging.
+func (c *Controller) DumpState() {
+	fmt.Printf("burst=%v rdq=%d fillq=%d wrq=%d waiting=%d resume=%d\n",
+		c.burst, len(c.rdq), len(c.fillq), len(c.wrq), len(c.waitingOps), len(c.resumeOps))
+	for i := range c.banks {
+		b := &c.banks[i]
+		st := "idle"
+		if b.busy {
+			st = "busy"
+		}
+		if b.readBusy {
+			st += "+read"
+		}
+		if b.wr != nil {
+			st += fmt.Sprintf(" wr(phase=%d paused=%v waiting=%v pauseReq=%v ev=%v cancelled=%d)",
+				b.wr.ticket.PhaseIndex(), b.wr.paused, b.wr.ticket.Waiting(), b.wr.pauseReq, b.wr.phaseEv.Scheduled(), b.wr.req.cancelled)
+		}
+		fmt.Printf("bank %d: %s\n", i, st)
+	}
+	mgr := c.sched.Manager()
+	fmt.Printf("DIMM avail=%.1f gcpInUse=%.1f\n", mgr.DIMMAvailable(), mgr.GCPInUse())
+	for i := 0; i < c.cfg.Chips; i++ {
+		fmt.Printf("chip %d avail=%.2f  ", i, mgr.ChipAvailable(i))
+	}
+	fmt.Println()
+	fmt.Printf("readSpaceWaiters=%d writeSpaceWaiters=%d\n", len(c.readSpaceWaiters), len(c.writeSpaceWaiters))
+}

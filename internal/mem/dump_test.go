@@ -1,0 +1,20 @@
+package mem
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestDumpStateDoesNotPanic exercises the deadlock-diagnostic dump across
+// interesting controller states.
+func TestDumpStateDoesNotPanic(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeGCPIPM, nil)
+	c.DumpState() // idle
+	c.TryEnqueueWrite(0, mkLine(cfg, 200))
+	c.TryEnqueueRead(uint64(cfg.L3LineB), nil)
+	eng.RunUntil(eng.Now() + 2000)
+	c.DumpState() // mid-flight
+	eng.Run(0)
+	c.DumpState() // drained
+}

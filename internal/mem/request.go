@@ -1,0 +1,23 @@
+package mem
+
+import "fpb/internal/sim"
+
+// ReadRequest is a PCM line read. Demand reads carry a completion callback
+// that unblocks the waiting core; fill reads (read-for-ownership of
+// writeback-allocated L3 lines) have no waiter and only consume bandwidth.
+type ReadRequest struct {
+	Addr     uint64 // line-aligned
+	Demand   bool
+	Done     func() // invoked when data reaches the requester; may be nil
+	enqueued sim.Cycle
+}
+
+// WriteRequest is a dirty line writeback to PCM, carrying the new content.
+type WriteRequest struct {
+	Addr     uint64 // line-aligned
+	Data     []byte
+	enqueued sim.Cycle
+	// cancelled counts how many times write cancellation restarted this
+	// request (telemetry; the paper's WC re-executes writes in full).
+	cancelled int
+}

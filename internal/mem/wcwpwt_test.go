@@ -1,0 +1,147 @@
+package mem
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestPauseRequestedBeforeBurstDoesNotStrandBank reproduces the deadlock
+// found during bring-up: a write receives a pause request, the queue then
+// fills and a burst begins before the pause is taken; the paused bank's
+// read can never issue (bursts block reads), so the pause must either be
+// suppressed or the write resumed.
+func TestPauseRequestedBeforeBurstDoesNotStrandBank(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeGCPIPM, func(cfg *sim.Config) {
+		cfg.WritePausing = true
+		cfg.WriteQueueEntries = 2
+	})
+	// Long write starts on bank 0.
+	c.TryEnqueueWrite(0, mkLine(cfg, 250))
+	eng.RunUntil(eng.Now() + 3000)
+	// A read to bank 0 requests a pause.
+	readDone := false
+	c.TryEnqueueRead(0, func() { readDone = true })
+	// The write queue fills immediately afterwards → burst.
+	bankStride := uint64(cfg.Banks * cfg.L3LineB)
+	accepted := uint64(1) // the long write
+	for i := uint64(1); i <= 3; i++ {
+		if c.TryEnqueueWrite(i*bankStride, mkLine(cfg, 100)) {
+			accepted++
+		}
+	}
+	if !c.InBurst() {
+		t.Fatal("setup: burst did not trigger")
+	}
+	eng.Run(0)
+	if !readDone {
+		t.Fatal("read stranded: pause/burst interaction deadlocked the bank")
+	}
+	if !c.Drained() {
+		t.Fatal("controller not drained")
+	}
+	_, _, _, writes, _, _ := c.Counts()
+	if writes != accepted {
+		t.Errorf("writes done = %d, want %d", writes, accepted)
+	}
+}
+
+// TestWCDisabledAtQueueWatermark: with a nearly full write queue the
+// controller must stop cancelling (cancelling would only hasten a burst).
+func TestWCDisabledAtQueueWatermark(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, func(cfg *sim.Config) {
+		cfg.WriteCancellation = true
+		cfg.WriteQueueEntries = 10
+	})
+	// Start a long write, then stuff the queue past the 80% watermark.
+	c.TryEnqueueWrite(0, mkLine(cfg, 250))
+	eng.RunUntil(eng.Now() + 2000)
+	bankStride := uint64(cfg.Banks * cfg.L3LineB)
+	for i := uint64(1); i <= 9; i++ {
+		c.TryEnqueueWrite(i*bankStride, mkLine(cfg, 100))
+	}
+	c.TryEnqueueRead(0, nil) // same bank as the long write
+	eng.RunUntil(eng.Now() + 100)
+	_, _, _, _, cancels, _ := c.Counts()
+	if cancels != 0 {
+		t.Errorf("cancelled %d writes above the queue watermark", cancels)
+	}
+	eng.Run(0)
+}
+
+// TestWCMaxCancelsBound: a write can be cancelled at most wcMaxCancels
+// times, then it runs to completion even under a steady read stream.
+func TestWCMaxCancelsBound(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeIdeal, func(cfg *sim.Config) {
+		cfg.WriteCancellation = true
+		cfg.WriteQueueEntries = 64
+		cfg.ReadQueueEntries = 64
+	})
+	c.TryEnqueueWrite(0, mkLine(cfg, 250))
+	// Pound bank 0 with reads for a long time.
+	var issue func()
+	issued := 0
+	issue = func() {
+		if issued >= 40 {
+			return
+		}
+		issued++
+		c.TryEnqueueRead(0, func() { issue() })
+	}
+	eng.RunUntil(eng.Now() + 1000)
+	issue()
+	eng.Run(0)
+	_, _, _, writes, cancels, _ := c.Counts()
+	if writes != 1 {
+		t.Fatalf("write never completed under read pressure (cancels=%d)", cancels)
+	}
+	if cancels > wcMaxCancels {
+		t.Errorf("cancels = %d, bound is %d", cancels, wcMaxCancels)
+	}
+}
+
+// TestMultiRoundWriteCompletes: a write whose single-chip demand exceeds
+// the LCP capacity must execute as two rounds and still complete.
+func TestMultiRoundWriteCompletes(t *testing.T) {
+	eng, c, cfg := newCtl(t, sim.SchemeDIMMChip, nil)
+	// All-0xFF over the whole line: ~1024 changed cells, 128 per chip
+	// under the naive mapping → beyond the 66.5-token LCP.
+	data := make([]byte, cfg.L3LineB)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if !c.TryEnqueueWrite(0, data) {
+		t.Fatal("write rejected")
+	}
+	eng.Run(0)
+	_, _, _, writes, _, _ := c.Counts()
+	if writes != 1 {
+		t.Fatal("multi-round write never completed")
+	}
+	_, _, _, rounds, _, _ := c.Scheduler().Stats()
+	if rounds == 0 {
+		t.Error("multi-round path not taken for an over-capacity write")
+	}
+}
+
+// TestWriteTruncationShortensWrites: with WT on, completed writes must be
+// faster on average than without, for identical content.
+func TestWriteTruncationShortensWrites(t *testing.T) {
+	run := func(wt bool) float64 {
+		eng, c, cfg := newCtl(t, sim.SchemeGCPIPM, func(cfg *sim.Config) {
+			cfg.WriteTruncation = wt
+			cfg.TruncateTailCells = 16
+		})
+		bankStride := uint64(cfg.Banks * cfg.L3LineB)
+		for i := uint64(0); i < 8; i++ {
+			c.TryEnqueueWrite(i*bankStride, mkLine(cfg, 200))
+		}
+		eng.Run(0)
+		return c.WriteLatency().Mean()
+	}
+	plain := run(false)
+	trunc := run(true)
+	if trunc >= plain {
+		t.Errorf("WT latency %.0f not below plain %.0f", trunc, plain)
+	}
+}

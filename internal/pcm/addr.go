@@ -1,0 +1,42 @@
+package pcm
+
+// AddressMap translates physical byte addresses to memory lines and banks.
+// Lines are interleaved across banks at line granularity, the conventional
+// open-page-free PCM layout: consecutive lines hit consecutive banks. Every
+// line is striped across all chips of the DIMM (the paper's baseline cell
+// stripping, Section 2.1), so chip assignment is a property of the cell
+// mapping, not the address.
+type AddressMap struct {
+	lineBytes uint64
+	banks     uint64
+}
+
+// NewAddressMap builds the translation for the given line size and bank
+// count.
+func NewAddressMap(lineBytes, banks int) *AddressMap {
+	if lineBytes <= 0 || banks <= 0 {
+		panic("pcm: AddressMap requires positive line size and bank count")
+	}
+	return &AddressMap{lineBytes: uint64(lineBytes), banks: uint64(banks)}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (a *AddressMap) LineAddr(addr uint64) uint64 {
+	return addr / a.lineBytes * a.lineBytes
+}
+
+// LineIndex returns the sequential line number of addr.
+func (a *AddressMap) LineIndex(addr uint64) uint64 {
+	return addr / a.lineBytes
+}
+
+// Bank returns the bank storing the line containing addr.
+func (a *AddressMap) Bank(addr uint64) int {
+	return int(a.LineIndex(addr) % a.banks)
+}
+
+// LineBytes reports the line size in bytes.
+func (a *AddressMap) LineBytes() int { return int(a.lineBytes) }
+
+// Banks reports the number of banks.
+func (a *AddressMap) Banks() int { return int(a.banks) }

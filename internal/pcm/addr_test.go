@@ -1,0 +1,46 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressMapBasics(t *testing.T) {
+	a := NewAddressMap(256, 8)
+	if a.LineBytes() != 256 || a.Banks() != 8 {
+		t.Fatal("accessors wrong")
+	}
+	if got := a.LineAddr(0x1234); got != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x, want 0x1200", got)
+	}
+	if got := a.Bank(0); got != 0 {
+		t.Errorf("Bank(0) = %d", got)
+	}
+	// Consecutive lines go to consecutive banks.
+	for i := 0; i < 16; i++ {
+		if got := a.Bank(uint64(i) * 256); got != i%8 {
+			t.Errorf("line %d → bank %d, want %d", i, got, i%8)
+		}
+	}
+}
+
+func TestAddressMapAlignmentProperty(t *testing.T) {
+	a := NewAddressMap(128, 4)
+	err := quick.Check(func(addr uint64) bool {
+		la := a.LineAddr(addr)
+		return la%128 == 0 && la <= addr && addr-la < 128 &&
+			a.Bank(addr) == a.Bank(la)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressMapInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero line size did not panic")
+		}
+	}()
+	NewAddressMap(0, 8)
+}

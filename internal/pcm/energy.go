@@ -1,0 +1,24 @@
+package pcm
+
+import "fpb/internal/sim"
+
+// Pulse energies for one cell, derived from Table 1's electrical
+// parameters: RESET 1.6 V × 300 µA × 125 ns = 60 pJ, SET 1.2 V × 150 µA ×
+// 250 ns = 45 pJ. (Token accounting uses the configurable SetPowerRatio;
+// energy reporting uses the electrical values.)
+const (
+	ResetEnergyPJ = 1.6 * 300e-6 * 125e-9 * 1e12 // per cell RESET pulse
+	SetEnergyPJ   = 1.2 * 150e-6 * 250e-9 * 1e12 // per cell SET pulse
+)
+
+// WriteEnergyPJ returns the programming energy of the line write in
+// picojoules: every changed cell takes one RESET pulse, and each SET
+// iteration pulses the cells still unfinished (program-and-verify applies
+// the pulse before the verify that retires the cell).
+func (p *WriteProfile) WriteEnergyPJ(cfg *sim.Config) float64 {
+	e := float64(p.Changed) * ResetEnergyPJ
+	for j := 2; j <= p.TotalIters; j++ {
+		e += float64(p.SetDemandAt(j)) * SetEnergyPJ
+	}
+	return e
+}

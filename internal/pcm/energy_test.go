@@ -1,0 +1,60 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+func TestPulseEnergyConstants(t *testing.T) {
+	// Table 1: RESET 1.6V, 300µA, 125ns → 60 pJ; SET 1.2V, 150µA,
+	// 250ns → 45 pJ.
+	if math.Abs(ResetEnergyPJ-60) > 1e-9 {
+		t.Errorf("ResetEnergyPJ = %g, want 60", ResetEnergyPJ)
+	}
+	if math.Abs(SetEnergyPJ-45) > 1e-9 {
+		t.Errorf("SetEnergyPJ = %g, want 45", SetEnergyPJ)
+	}
+}
+
+func TestWriteEnergyAccounting(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	// Hand-built profile: 10 cells; after RESET 8 remain, after SET#2 4,
+	// after SET#3 0. Energy = 10 RESETs + (8+4) SET pulses.
+	p := &WriteProfile{
+		Changed:     10,
+		TotalIters:  3,
+		RemainTotal: []int{10, 8, 4, 0},
+	}
+	want := 10*ResetEnergyPJ + 12*SetEnergyPJ
+	if got := p.WriteEnergyPJ(&cfg); math.Abs(got-want) > 1e-9 {
+		t.Errorf("WriteEnergyPJ = %g, want %g", got, want)
+	}
+}
+
+func TestWriteEnergyZeroChange(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := &WriteProfile{Changed: 0, TotalIters: 1, RemainTotal: []int{0, 0}}
+	if got := p.WriteEnergyPJ(&cfg); got != 0 {
+		t.Errorf("silent write energy = %g, want 0", got)
+	}
+}
+
+func TestWriteTruncationSavesEnergy(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	full := &WriteProfile{
+		Changed:     100,
+		TotalIters:  10,
+		RemainTotal: []int{100, 90, 70, 50, 30, 20, 12, 8, 4, 2, 0},
+	}
+	trunc := &WriteProfile{
+		Changed:     100,
+		TotalIters:  7,
+		RemainTotal: []int{100, 90, 70, 50, 30, 20, 12, 0},
+		Truncated:   8,
+	}
+	if trunc.WriteEnergyPJ(&cfg) >= full.WriteEnergyPJ(&cfg) {
+		t.Error("truncation did not reduce write energy")
+	}
+}

@@ -1,0 +1,118 @@
+package pcm
+
+import (
+	"math"
+
+	"fpb/internal/sim"
+)
+
+// IterModel draws the total number of program-and-verify iterations a single
+// MLC cell write needs, following the paper's two-phase model (Table 1,
+// after Qureshi et al. HPCA'10 and Jiang et al. HPCA'12):
+//
+//	'00' — fixed 1 iteration  (the RESET pulse alone reaches full amorphous)
+//	'11' — fixed 2 iterations (RESET + one SET)
+//	'01' — minimum 2, mean Iter01Mean (default 8); two-phase mixture with
+//	       fast-phase weight F1 = Iter01F1 (default 0.375)
+//	'10' — minimum 2, mean Iter10Mean (default 6); fast-phase weight
+//	       Iter10F1 (default 0.425)
+//
+// Iteration 1 is always the RESET pulse; iterations 2..T are SET pulses.
+//
+// The two phases are normal distributions (process variation spreads the
+// programming staircase around its nominal length): the fast phase is
+// centered fastShift iterations below the configured mean, and the slow
+// phase's center is solved so the mixture hits the mean exactly. The
+// resulting per-line iteration maximum concentrates a few iterations above
+// the mean with only a handful of straggler cells — the property that makes
+// write truncation (Jiang et al. HPCA'12) effective, and that matches
+// "most cells finish in only a small number of iterations".
+// Draws are clamped to [minIters, IterMax] (verify always succeeds by the
+// cap, as in real bounded-retry P&V circuits).
+type IterModel struct {
+	bitsPerCell int
+	iterMax     int
+	mix01       phaseMix
+	mix10       phaseMix
+	rng         *sim.RNG
+}
+
+// phaseMix holds one state's mixture parameters.
+type phaseMix struct {
+	f1       float64 // fast-phase weight
+	fastMean float64
+	slowMean float64
+}
+
+const (
+	// fastShift is how far below the configured mean the fast phase sits.
+	fastShift = 3.0
+	// fastSigma/slowSigma are the phases' spreads, in iterations.
+	fastSigma = 1.5
+	slowSigma = 2.5
+	// minIters: intermediate states need the RESET plus at least one SET.
+	minIters = 2
+)
+
+// NewIterModel builds an iteration model from the configuration, drawing
+// from the provided RNG stream.
+func NewIterModel(cfg *sim.Config, rng *sim.RNG) *IterModel {
+	return &IterModel{
+		bitsPerCell: cfg.BitsPerCell,
+		iterMax:     cfg.IterMax,
+		mix01:       solveMix(cfg.Iter01Mean, cfg.Iter01F1),
+		mix10:       solveMix(cfg.Iter10Mean, cfg.Iter10F1),
+		rng:         rng,
+	}
+}
+
+// solveMix places the two phases so the mixture mean equals mean:
+//
+//	mean = F1*(mean-fastShift) + (1-F1)*slowMean
+func solveMix(mean, f1 float64) phaseMix {
+	fast := mean - fastShift
+	if fast < minIters {
+		fast = minIters
+	}
+	slow := (mean - f1*fast) / (1 - f1)
+	if slow < fast {
+		slow = fast
+	}
+	return phaseMix{f1: f1, fastMean: fast, slowMean: slow}
+}
+
+// Draw returns the total iterations (including the leading RESET) for one
+// cell write targeting the given state. For SLC (bitsPerCell 1) every write
+// is a single pulse.
+func (m *IterModel) Draw(target CellState) int {
+	if m.bitsPerCell == 1 {
+		return 1
+	}
+	switch target {
+	case State00:
+		return 1
+	case State11:
+		return 2
+	}
+	mix := m.mix01
+	if target == State10 {
+		mix = m.mix10
+	}
+	var v float64
+	if m.rng.Bernoulli(mix.f1) {
+		v = m.rng.Normal(mix.fastMean, fastSigma)
+	} else {
+		v = m.rng.Normal(mix.slowMean, slowSigma)
+	}
+	t := int(math.Round(v))
+	if t < minIters {
+		t = minIters
+	}
+	if t > m.iterMax {
+		t = m.iterMax
+	}
+	return t
+}
+
+// MaxIters reports the configured per-cell iteration cap.
+func (m *IterModel) MaxIters() int { return m.iterMax }

@@ -1,0 +1,38 @@
+package pcm
+
+// Store is the sparse content store for PCM main memory. Only lines that
+// have been written are materialized; untouched memory reads as all zeros,
+// matching the paper's Fig. 3 assumption that memory initially contains 0s.
+type Store struct {
+	lineBytes int
+	lines     map[uint64][]byte
+}
+
+// NewStore creates a store for lines of lineBytes bytes.
+func NewStore(lineBytes int) *Store {
+	return &Store{lineBytes: lineBytes, lines: make(map[uint64][]byte)}
+}
+
+// LineBytes reports the line size.
+func (s *Store) LineBytes() int { return s.lineBytes }
+
+// Get returns the current content of the line at lineAddr, or nil if the
+// line has never been written (all zeros). Callers must not mutate the
+// returned slice; use Put.
+func (s *Store) Get(lineAddr uint64) []byte {
+	return s.lines[lineAddr]
+}
+
+// Put replaces the content of the line and returns the previous content
+// (nil if the line was untouched). Put takes ownership of new.
+func (s *Store) Put(lineAddr uint64, new []byte) []byte {
+	if len(new) != s.lineBytes {
+		panic("pcm: Put with wrong line size")
+	}
+	old := s.lines[lineAddr]
+	s.lines[lineAddr] = new
+	return old
+}
+
+// Len reports how many distinct lines have been written.
+func (s *Store) Len() int { return len(s.lines) }

@@ -1,0 +1,45 @@
+package pcm
+
+import "testing"
+
+func TestStoreGetUntouchedIsNil(t *testing.T) {
+	s := NewStore(64)
+	if s.Get(0x40) != nil {
+		t.Error("untouched line should be nil (all zeros)")
+	}
+	if s.Len() != 0 {
+		t.Error("empty store has nonzero Len")
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s := NewStore(4)
+	data := []byte{1, 2, 3, 4}
+	if old := s.Put(0x100, data); old != nil {
+		t.Error("first Put returned non-nil old")
+	}
+	got := s.Get(0x100)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("Get returned wrong content")
+		}
+	}
+	next := []byte{5, 6, 7, 8}
+	old := s.Put(0x100, next)
+	if old[0] != 1 {
+		t.Error("Put did not return previous content")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStorePutWrongSizePanics(t *testing.T) {
+	s := NewStore(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Put with wrong size did not panic")
+		}
+	}()
+	s.Put(0, []byte{1})
+}

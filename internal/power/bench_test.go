@@ -1,0 +1,44 @@
+package power
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+func BenchmarkTryAcquireReleaseLCP(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeDIMMChip
+	m := NewManager(&cfg)
+	d := uniformDemand(200, cfg.Chips)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, ok := m.TryAcquire(d)
+		if !ok {
+			b.Fatal("denied")
+		}
+		m.Release(g)
+	}
+}
+
+func BenchmarkTryAcquireReleaseGCP(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeGCP
+	m := NewManager(&cfg)
+	// Saturate chip 0 so every acquire engages the GCP borrow path.
+	busy := make([]float64, cfg.Chips)
+	busy[0] = cfg.LCPTokens()
+	gBusy, _ := m.TryAcquire(Demand{DIMM: busy[0], PerChip: busy})
+	defer m.Release(gBusy)
+	per := make([]float64, cfg.Chips)
+	per[0] = 20
+	d := Demand{DIMM: 20, PerChip: per}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, ok := m.TryAcquire(d)
+		if !ok {
+			b.Fatal("denied")
+		}
+		m.Release(g)
+	}
+}

@@ -1,0 +1,320 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"fpb/internal/sim"
+	"fpb/internal/stats"
+)
+
+// Demand is the power a write phase needs, in RESET-equivalent tokens.
+type Demand struct {
+	// DIMM is the total token demand charged against the DIMM budget.
+	DIMM float64
+	// PerChip is the per-chip token demand; nil when chip budgets are not
+	// enforced (Ideal and DIMM-only schemes).
+	PerChip []float64
+}
+
+// Total sums the per-chip demand.
+func (d *Demand) Total() float64 {
+	t := 0.0
+	for _, c := range d.PerChip {
+		t += c
+	}
+	return t
+}
+
+// Grant records a satisfied Demand so it can be released or resized later.
+type Grant struct {
+	dimm       float64
+	lcp        []float64 // tokens taken from each chip's LCP
+	gcpOut     float64   // GCP output tokens supplied
+	borrowed   []float64 // LCP tokens borrowed per chip to fund the GCP
+	maxSegment float64   // largest single GCP-powered chip segment
+}
+
+// GCPTokens reports the GCP output tokens this grant is consuming.
+func (g *Grant) GCPTokens() float64 { return g.gcpOut }
+
+// Manager owns every pool and implements the acquisition policy, including
+// the GCP segment rule of the paper: a chip segment is powered entirely by
+// its LCP or entirely by the GCP, never both.
+type Manager struct {
+	cfg *sim.Config
+
+	dimm     *Pool
+	chips    []*Pool
+	gcp      *Pool // capacity = max GCP output tokens
+	borrowed []float64
+
+	// Telemetry for Figures 13/14 and the energy-waste analysis.
+	gcpMaxOut     float64
+	gcpMaxGrant   float64       // largest single-grant GCP output
+	gcpMaxSegment float64       // largest single chip segment the GCP powered
+	gcpPerWrite   stats.Summary // GCP output tokens requested per line write
+	gcpWasteIn    float64       // input power burned by GCP inefficiency (token·phases)
+	deniedDIMM    uint64
+	deniedChip    uint64
+	deniedGCP     uint64
+	grantsIssued  uint64
+	scratchOrder  []int
+	scratchShort  []int
+	scratchNeeded []float64
+}
+
+// NewManager builds pools from the configuration.
+func NewManager(cfg *sim.Config) *Manager {
+	m := &Manager{cfg: cfg}
+	m.dimm = NewPool(cfg.DIMMTokens)
+	m.chips = make([]*Pool, cfg.Chips)
+	for i := range m.chips {
+		m.chips[i] = NewPool(cfg.LCPTokens())
+	}
+	gcpCap := 0.0
+	if cfg.UsesGCP() {
+		gcpCap = cfg.GCPTokens()
+	}
+	m.gcp = NewPool(gcpCap)
+	m.borrowed = make([]float64, cfg.Chips)
+	return m
+}
+
+// DIMMAvailable returns the free DIMM-level tokens.
+func (m *Manager) DIMMAvailable() float64 { return m.dimm.Available() }
+
+// ChipAvailable returns the free tokens of chip c's LCP.
+func (m *Manager) ChipAvailable(c int) float64 { return m.chips[c].Available() }
+
+// GCPInUse returns the GCP output tokens currently supplying segments.
+func (m *Manager) GCPInUse() float64 { return m.gcp.InUse() }
+
+// CanAcquire reports whether the demand could be granted right now without
+// mutating any state.
+func (m *Manager) CanAcquire(d Demand) bool {
+	ok, _ := m.plan(d)
+	return ok
+}
+
+// TryAcquire attempts to grant the demand; it returns (grant, true) on
+// success and (nil, false) if any budget would be violated.
+func (m *Manager) TryAcquire(d Demand) (*Grant, bool) {
+	ok, g := m.plan(d)
+	if !ok {
+		return nil, false
+	}
+	m.commit(d, g)
+	return g, true
+}
+
+// plan computes how the demand would be satisfied. It mutates only scratch
+// space; commit applies the plan.
+func (m *Manager) plan(d Demand) (bool, *Grant) {
+	if m.cfg.EnforcesDIMMBudget() && !m.dimm.CanAcquire(d.DIMM) {
+		m.deniedDIMM++
+		return false, nil
+	}
+	g := &Grant{dimm: d.DIMM}
+	if !m.cfg.EnforcesChipBudget() || d.PerChip == nil {
+		return true, g
+	}
+	if len(d.PerChip) != len(m.chips) {
+		panic(fmt.Sprintf("power: demand for %d chips, manager has %d", len(d.PerChip), len(m.chips)))
+	}
+	g.lcp = make([]float64, len(m.chips))
+	// Pass 1: segments the LCPs can power directly.
+	m.scratchShort = m.scratchShort[:0]
+	gcpOutNeeded := 0.0
+	maxSegment := 0.0
+	for c, need := range d.PerChip {
+		if need <= 0 {
+			continue
+		}
+		if m.chips[c].CanAcquire(need) {
+			g.lcp[c] = need
+		} else {
+			m.scratchShort = append(m.scratchShort, c)
+			gcpOutNeeded += need
+			if need > maxSegment {
+				maxSegment = need
+			}
+		}
+	}
+	g.maxSegment = maxSegment
+	if len(m.scratchShort) == 0 {
+		return true, g
+	}
+	// Pass 2: the GCP powers every short segment in full (segment rule).
+	if !m.cfg.UsesGCP() || !m.gcp.CanAcquire(gcpOutNeeded) {
+		if m.cfg.UsesGCP() && m.gcp.CanAcquire(0) {
+			m.deniedGCP++
+		} else {
+			m.deniedChip++
+		}
+		return false, nil
+	}
+	// Fund the GCP: borrow gcpOutNeeded * E_LCP / E_GCP raw LCP tokens
+	// from chips with spare capacity (Eq. 5), greedily from the chips
+	// with the most headroom after their own LCP allocations.
+	borrowNeed := gcpOutNeeded * m.cfg.LCPEff / m.cfg.GCPEff
+	g.borrowed = make([]float64, len(m.chips))
+	if cap(m.scratchOrder) < len(m.chips) {
+		m.scratchOrder = make([]int, len(m.chips))
+		m.scratchNeeded = make([]float64, len(m.chips))
+	}
+	order := m.scratchOrder[:len(m.chips)]
+	headroom := m.scratchNeeded[:len(m.chips)]
+	for c := range order {
+		order[c] = c
+		headroom[c] = m.chips[c].Available() - g.lcp[c]
+	}
+	sort.Slice(order, func(i, j int) bool { return headroom[order[i]] > headroom[order[j]] })
+	remaining := borrowNeed
+	for _, c := range order {
+		if remaining <= epsilon {
+			break
+		}
+		take := headroom[c]
+		if take <= 0 {
+			continue
+		}
+		if take > remaining {
+			take = remaining
+		}
+		g.borrowed[c] = take
+		remaining -= take
+	}
+	if remaining > epsilon {
+		m.deniedGCP++
+		return false, nil
+	}
+	g.gcpOut = gcpOutNeeded
+	return true, g
+}
+
+// commit applies a planned grant to the pools and records telemetry.
+func (m *Manager) commit(d Demand, g *Grant) {
+	if m.cfg.EnforcesDIMMBudget() {
+		m.dimm.Acquire(g.dimm)
+	} else {
+		g.dimm = 0
+	}
+	for c, n := range g.lcp {
+		if n > 0 {
+			m.chips[c].Acquire(n)
+		}
+	}
+	for c, n := range g.borrowed {
+		if n > 0 {
+			m.chips[c].Acquire(n)
+		}
+	}
+	if g.gcpOut > 0 {
+		m.gcp.Acquire(g.gcpOut)
+		if used := m.gcp.InUse(); used > m.gcpMaxOut {
+			m.gcpMaxOut = used
+		}
+		if g.gcpOut > m.gcpMaxGrant {
+			m.gcpMaxGrant = g.gcpOut
+		}
+		if g.maxSegment > m.gcpMaxSegment {
+			m.gcpMaxSegment = g.maxSegment
+		}
+		// Input power funneled through the GCP that does not reach
+		// cells: borrowed/E_LCP raw input vs gcpOut useful output.
+		m.gcpWasteIn += g.gcpOut*m.cfg.LCPEff/m.cfg.GCPEff - g.gcpOut
+	}
+	m.grantsIssued++
+}
+
+// Release returns every token held by the grant.
+func (m *Manager) Release(g *Grant) {
+	if g == nil {
+		return
+	}
+	if g.dimm > 0 {
+		m.dimm.Release(g.dimm)
+	}
+	for c, n := range g.lcp {
+		if n > 0 {
+			m.chips[c].Release(n)
+		}
+	}
+	for c, n := range g.borrowed {
+		if n > 0 {
+			m.chips[c].Release(n)
+		}
+	}
+	if g.gcpOut > 0 {
+		m.gcp.Release(g.gcpOut)
+	}
+	g.dimm, g.gcpOut = 0, 0
+	g.lcp, g.borrowed = nil, nil
+}
+
+// Resize releases old and immediately tries to acquire next; on failure the
+// old grant is gone (the write holds nothing and must wait at the iteration
+// boundary). This release-then-acquire order is safe for FPB-IPM because
+// per-iteration demand never increases within a write; only Multi-RESET's
+// RESET→SET transition can fail, which models the short boundary stall.
+func (m *Manager) Resize(old *Grant, next Demand) (*Grant, bool) {
+	m.Release(old)
+	return m.TryAcquire(next)
+}
+
+// RecordWriteGCPUsage notes the total GCP output tokens a completed line
+// write requested across its phases (Figure 14 telemetry). Writes that
+// never touched the GCP record zero.
+func (m *Manager) RecordWriteGCPUsage(tokens float64) {
+	m.gcpPerWrite.Add(tokens)
+}
+
+// MaxGCPOut reports the maximum concurrent GCP output observed (Figure 13).
+func (m *Manager) MaxGCPOut() float64 { return m.gcpMaxOut }
+
+// MaxGCPGrant reports the largest GCP output supplied to a single write
+// phase.
+func (m *Manager) MaxGCPGrant() float64 { return m.gcpMaxGrant }
+
+// MaxGCPSegment reports the largest single chip segment the GCP ever
+// powered — the pump-sizing criterion of Figure 13/Table 3: the hot-chip
+// shortfall the mapping leaves behind, which a smaller pump could not have
+// covered.
+func (m *Manager) MaxGCPSegment() float64 { return m.gcpMaxSegment }
+
+// AvgGCPPerWrite reports the mean GCP output tokens requested per line
+// write (Figure 14).
+func (m *Manager) AvgGCPPerWrite() float64 { return m.gcpPerWrite.Mean() }
+
+// WastedInputPower reports accumulated GCP conversion losses, in
+// token-phases (proportional to wasted energy).
+func (m *Manager) WastedInputPower() float64 { return m.gcpWasteIn }
+
+// Denials reports how many acquisition attempts failed at the DIMM, chip,
+// and GCP levels respectively.
+func (m *Manager) Denials() (dimm, chip, gcp uint64) {
+	return m.deniedDIMM, m.deniedChip, m.deniedGCP
+}
+
+// Grants reports how many acquisitions succeeded.
+func (m *Manager) Grants() uint64 { return m.grantsIssued }
+
+// CheckInvariants panics if pool accounting has drifted; tests call this
+// after workloads complete, when all tokens must be free.
+func (m *Manager) CheckInvariants(allFree bool) {
+	if !allFree {
+		return
+	}
+	if m.dimm.InUse() > epsilon {
+		panic(fmt.Sprintf("power: %.6f DIMM tokens leaked", m.dimm.InUse()))
+	}
+	for c, p := range m.chips {
+		if p.InUse() > epsilon {
+			panic(fmt.Sprintf("power: %.6f tokens leaked on chip %d", p.InUse(), c))
+		}
+	}
+	if m.gcp.InUse() > epsilon {
+		panic(fmt.Sprintf("power: %.6f GCP tokens leaked", m.gcp.InUse()))
+	}
+}

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolLifecycle(t *testing.T) {
+	p := NewPool(10)
+	if p.Cap() != 10 || p.Available() != 10 || p.InUse() != 0 {
+		t.Fatal("fresh pool state wrong")
+	}
+	if !p.CanAcquire(10) {
+		t.Error("full pool cannot supply its capacity")
+	}
+	p.Acquire(6)
+	if p.Available() != 4 || p.InUse() != 6 {
+		t.Errorf("after Acquire(6): avail=%g inuse=%g", p.Available(), p.InUse())
+	}
+	if p.CanAcquire(5) {
+		t.Error("CanAcquire(5) with 4 available")
+	}
+	p.Release(6)
+	if p.Available() != 10 {
+		t.Errorf("after release: avail=%g", p.Available())
+	}
+}
+
+func TestPoolOverAcquirePanics(t *testing.T) {
+	p := NewPool(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-acquire did not panic")
+		}
+	}()
+	p.Acquire(6)
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	p := NewPool(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	p.Release(1)
+}
+
+func TestPoolToleratesFloatDrift(t *testing.T) {
+	p := NewPool(1)
+	// 10 acquires of 0.1 must exactly exhaust the pool despite rounding.
+	for i := 0; i < 10; i++ {
+		if !p.CanAcquire(0.1) {
+			t.Fatalf("acquire %d of 0.1 denied with %.18f available", i, p.Available())
+		}
+		p.Acquire(0.1)
+	}
+	for i := 0; i < 10; i++ {
+		p.Release(0.1)
+	}
+	if p.Available() > 1+1e-9 || p.Available() < 1-1e-9 {
+		t.Errorf("drifted pool: %.18f", p.Available())
+	}
+}
+
+func TestPoolAcquireReleaseProperty(t *testing.T) {
+	err := quick.Check(func(takes []uint8) bool {
+		p := NewPool(1000)
+		var held []float64
+		for _, tk := range takes {
+			n := float64(tk)
+			if p.CanAcquire(n) {
+				p.Acquire(n)
+				held = append(held, n)
+			}
+		}
+		for _, n := range held {
+			p.Release(n)
+		}
+		return p.Available() >= 1000-1e-6 && p.Available() <= 1000+1e-6
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

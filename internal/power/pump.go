@@ -1,0 +1,57 @@
+package power
+
+// Charge-pump area modeling (paper Eq. 1 and Table 3). The area of a
+// CMOS-compatible charge pump is proportional to the maximum load current
+// it must supply:
+//
+//	A_tot = k * N^2 / ((N+1)*Vdd - Vout) * I_L / f
+//
+// For fixed process (k), stage count (N), voltages and frequency, area is
+// linear in I_L, and I_L is linear in the pump's token rating referred to
+// its input (output tokens / efficiency). Table 3 therefore expresses each
+// design's overhead as input-referred tokens relative to the baseline
+// DIMM's 8 pumps of 70 tokens each.
+
+// PumpParams are the electrical parameters of Eq. 1. Only ratios matter for
+// the overhead comparison; defaults follow the paper's cited 1.6 V RESET on
+// a 1.2 V supply with a 4-stage Dickson pump.
+type PumpParams struct {
+	K      float64 // process constant
+	Stages int     // N
+	Vdd    float64 // supply voltage (V)
+	Vout   float64 // target programming voltage (V)
+	Freq   float64 // pump clock (Hz)
+}
+
+// DefaultPumpParams returns representative values; the Table 3 comparison
+// is invariant to them because it reports area ratios.
+func DefaultPumpParams() PumpParams {
+	return PumpParams{K: 1, Stages: 4, Vdd: 1.2, Vout: 1.6, Freq: 100e6}
+}
+
+// Area evaluates Eq. 1 for a load current proportional to inputTokens.
+// The returned value is in arbitrary units; compare areas by ratio.
+func (p PumpParams) Area(inputTokens float64) float64 {
+	n := float64(p.Stages)
+	denom := (n+1)*p.Vdd - p.Vout
+	if denom <= 0 {
+		denom = 1e-9
+	}
+	return p.K * n * n / denom * inputTokens / p.Freq
+}
+
+// BaselineChipTokens is the per-chip pump rating of the paper's baseline
+// DIMM (Table 3: 70 tokens × 8 chips = 560).
+const BaselineChipTokens = 70.0
+
+// PumpOverhead returns a pump design's area overhead relative to the
+// baseline DIMM's total pump area, as Table 3 computes it: the design's
+// input-referred tokens (output/efficiency, rounded up as the paper does)
+// divided by the 560-token baseline.
+func PumpOverhead(outputTokens, efficiency float64, chips int) float64 {
+	if efficiency <= 0 {
+		return 0
+	}
+	baseline := BaselineChipTokens * float64(chips)
+	return (outputTokens / efficiency) / baseline
+}

@@ -1,0 +1,61 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPumpAreaLinearInCurrent(t *testing.T) {
+	p := DefaultPumpParams()
+	a1 := p.Area(70)
+	a2 := p.Area(140)
+	if math.Abs(a2-2*a1) > 1e-12*a2 {
+		t.Errorf("area not linear in load: %g vs 2*%g", a2, a1)
+	}
+}
+
+func TestPumpAreaDegenerateVoltage(t *testing.T) {
+	p := DefaultPumpParams()
+	p.Stages = 0
+	p.Vout = 10 // (N+1)*Vdd - Vout < 0
+	if a := p.Area(70); math.IsInf(a, 0) || math.IsNaN(a) {
+		t.Errorf("degenerate pump area = %g, want finite", a)
+	}
+}
+
+// TestPumpOverheadMatchesTable3 checks the exact overhead numbers the paper
+// reports in Table 3 from its measured max token requests.
+func TestPumpOverheadMatchesTable3(t *testing.T) {
+	cases := []struct {
+		name     string
+		tokens   float64
+		eff      float64
+		overhead float64 // paper value
+	}{
+		{"GCP-NE-0.95", 66, 0.95, 0.125},
+		{"GCP-NE-0.70", 64, 0.70, 0.164},
+		{"GCP-VIM-0.95", 16, 0.95, 0.031},
+		{"GCP-VIM-0.70", 16, 0.70, 0.041},
+		{"GCP-BIM-0.95", 28, 0.95, 0.054},
+		{"GCP-BIM-0.70", 28, 0.70, 0.071},
+	}
+	for _, c := range cases {
+		got := PumpOverhead(c.tokens, c.eff, 8)
+		if math.Abs(got-c.overhead) > 0.005 {
+			t.Errorf("%s: overhead = %.3f, want %.3f", c.name, got, c.overhead)
+		}
+	}
+}
+
+func TestPumpOverhead2xLocal(t *testing.T) {
+	// Doubling every LCP adds 8 × 70 input-referred tokens → 100%.
+	if got := PumpOverhead(8*BaselineChipTokens*1.0, 1.0, 8); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("2xlocal overhead = %.3f, want 1.0", got)
+	}
+}
+
+func TestPumpOverheadZeroEfficiency(t *testing.T) {
+	if PumpOverhead(10, 0, 8) != 0 {
+		t.Error("zero efficiency must return 0, not Inf")
+	}
+}

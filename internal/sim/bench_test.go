@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Cycle(i%1000), func() {})
+		if i%64 == 0 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	r := NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Normal(8, 2.5)
+	}
+	_ = sink
+}

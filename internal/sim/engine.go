@@ -1,0 +1,171 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other package in this repository: a deterministic event heap keyed on a
+// cycle clock, and a seedable pseudo-random number generator.
+//
+// All timing in the simulator is expressed in CPU cycles (4 GHz by default,
+// so 1 ns = 4 cycles). Components schedule callbacks on the Engine; the
+// Engine runs them in (time, sequence) order so simulations are fully
+// deterministic for a given seed and configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// MaxCycle is the largest representable cycle; used as "never".
+const MaxCycle = Cycle(math.MaxUint64)
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// cycle it was scheduled for, unless cancelled first.
+type Event struct {
+	when   Cycle
+	seq    uint64 // tie-breaker: FIFO among events at the same cycle
+	fn     func()
+	index  int // heap index; -1 when not in the heap
+	cancel bool
+}
+
+// When reports the cycle the event is scheduled for.
+func (e *Event) When() Cycle { return e.when }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// NewEngine returns an empty engine positioned at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// EventsRun reports how many events have executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending reports how many events are waiting in the heap (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at the absolute cycle when. Scheduling in the past
+// panics: that is always a component bug, and silently reordering time would
+// corrupt every downstream measurement.
+func (e *Engine) At(when Cycle, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel prevents a pending event from running. Cancelling a nil, already
+// run, or already cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.cancel = true
+}
+
+// Step runs the next pending event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.when
+		e.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the heap is empty or until limit events have
+// run (0 means no limit). It returns the number of events executed.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	for limit == 0 || n < limit {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled at
+// exactly the deadline do run. The clock is left at the timestamp of the
+// last executed event (it does not jump to the deadline if the heap drains
+// early).
+func (e *Engine) RunUntil(deadline Cycle) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.when > deadline {
+			return
+		}
+		e.Step()
+	}
+}
+
+// RunWhile executes events while cond() returns true and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// TestEngineRandomOpsMaintainOrder drives the engine with a random mix of
+// schedules, cancellations, and nested re-schedules, and checks the
+// fundamental invariant: callbacks observe a non-decreasing clock and every
+// non-cancelled event runs exactly once.
+func TestEngineRandomOpsMaintainOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := NewRNG(seed)
+		e := NewEngine()
+		var lastSeen Cycle
+		ran := map[int]int{}
+		cancelled := map[int]bool{}
+		var events []*Event
+		id := 0
+
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			myID := id
+			id++
+			delay := Cycle(rng.Intn(100))
+			ev := e.After(delay, func() {
+				if e.Now() < lastSeen {
+					t.Fatalf("seed %d: clock went backwards: %d < %d", seed, e.Now(), lastSeen)
+				}
+				lastSeen = e.Now()
+				ran[myID]++
+				if depth < 3 && rng.Bernoulli(0.4) {
+					spawn(depth + 1)
+				}
+			})
+			events = append(events, ev)
+			if rng.Bernoulli(0.2) {
+				e.Cancel(ev)
+				cancelled[myID] = true
+			}
+		}
+		for i := 0; i < 200; i++ {
+			spawn(0)
+		}
+		e.Run(0)
+
+		for i := 0; i < id; i++ {
+			switch {
+			case cancelled[i] && ran[i] != 0:
+				t.Fatalf("seed %d: cancelled event %d ran", seed, i)
+			case !cancelled[i] && ran[i] != 1:
+				t.Fatalf("seed %d: event %d ran %d times", seed, i, ran[i])
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("seed %d: %d events stuck in heap", seed, e.Pending())
+		}
+	}
+}

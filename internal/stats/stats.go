@@ -1,0 +1,324 @@
+// Package stats provides the measurement primitives used across the
+// simulator: streaming summaries (mean/max), histograms, geometric means for
+// speedup aggregation, and fixed-width table rendering for the experiment
+// harness output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations.
+type Summary struct {
+	n    uint64
+	sum  float64
+	ssq  float64
+	min  float64
+	max  float64
+	last float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	s.sum += v
+	s.ssq += v * v
+	s.last = v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Last returns the most recent observation, or 0 for an empty summary.
+func (s *Summary) Last() float64 { return s.last }
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.ssq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return math.Sqrt(v)
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values
+// (which have no geometric mean); it returns 0 if no positive values exist.
+// The paper reports gmean speedups across workloads.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Histogram counts integer-valued observations in unit-width buckets
+// [0, max]; values beyond max land in the overflow bucket.
+type Histogram struct {
+	buckets  []uint64
+	overflow uint64
+	total    uint64
+	sum      uint64
+}
+
+// NewHistogram returns a histogram covering [0, max].
+func NewHistogram(max int) *Histogram {
+	if max < 0 {
+		max = 0
+	}
+	return &Histogram{buckets: make([]uint64, max+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v < len(h.buckets) {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+	}
+	h.total++
+	h.sum += uint64(v)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the arithmetic mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Overflow returns the number of observations beyond the histogram range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Percentile returns the p-th percentile (p in [0,100]) of recorded values;
+// overflow observations count as the maximum bucket value + 1.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.buckets)
+}
+
+// Ratio returns a/b, or 0 when b is 0. Convenient for normalized metrics.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Table renders labeled rows of numbers in a fixed-width layout matching the
+// style the experiment harness prints for each figure/table of the paper.
+type Table struct {
+	Title   string
+	Columns []string // column headers, first column is the row label
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row: a label followed by float cells rendered as %.3f.
+func (t *Table) AddRow(label string, cells ...float64) {
+	row := make([]string, 0, len(cells)+1)
+	row = append(row, label)
+	for _, c := range cells {
+		row = append(row, fmt.Sprintf("%.3f", c))
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddStringRow appends a row of raw strings.
+func (t *Table) AddStringRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th row's cells.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	line := ""
+	for i, c := range t.Columns {
+		line += pad(c, widths[i]) + "  "
+	}
+	out += line + "\n"
+	for _, row := range t.rows {
+		line = ""
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += pad(cell, w) + "  "
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// BarChart renders one numeric column of the table as a horizontal ASCII
+// bar chart scaled to the column maximum — the terminal stand-in for the
+// paper's bar figures. col is 1-based over the data columns (column 0 is
+// the row label); width is the maximum bar length in characters.
+func (t *Table) BarChart(col, width int) string {
+	if col < 1 || col >= len(t.Columns) || width <= 0 {
+		return ""
+	}
+	max := 0.0
+	vals := make([]float64, len(t.rows))
+	ok := make([]bool, len(t.rows))
+	for i, row := range t.rows {
+		if col < len(row) {
+			if _, err := fmt.Sscan(row[col], &vals[i]); err == nil {
+				ok[i] = true
+				if vals[i] > max {
+					max = vals[i]
+				}
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, row := range t.rows {
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	out := t.Columns[col] + "\n"
+	for i, row := range t.rows {
+		if !ok[i] {
+			continue
+		}
+		n := int(vals[i] / max * float64(width))
+		out += fmt.Sprintf("%s  %s %.3f\n", pad(row[0], labelW), bar(n), vals[i])
+	}
+	return out
+}
+
+func bar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// SortedKeys returns map keys in sorted order; handy for deterministic
+// iteration when printing per-workload results.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,30 @@
+package system
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// BenchmarkSimulation measures end-to-end simulator throughput: one full
+// build+run of a write-heavy workload under full FPB. The interesting
+// number is simulated instructions per wall second (reported as a custom
+// metric).
+func BenchmarkSimulation(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeGCPIPMMR
+	cfg.CellMapping = sim.MapBIM
+	cfg.InstrPerCore = 20_000
+	cfg.L3SizeMB = 8
+	b.ReportAllocs()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := RunWorkload(cfg, "mcf_m")
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instr/s")
+}

@@ -1,0 +1,53 @@
+package system
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestHalfStripeLatencyCost: absent power constraints (Ideal), the
+// two-round half-stripe layout is pure latency cost — doubled array reads
+// and doubled write occupancy — and must be strictly slower, which is the
+// paper's argument for the full-stripe baseline. (Under a power-bound
+// baseline the halved per-round demand can outweigh the latency, an effect
+// the abl-halfstripe experiment quantifies.)
+func TestHalfStripeLatencyCost(t *testing.T) {
+	full := quickConfig(sim.SchemeIdeal)
+	half := full
+	half.HalfStripe = true
+	fullRes, err := RunWorkload(full, "mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfRes, err := RunWorkload(half, "mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halfRes.CPI <= fullRes.CPI {
+		t.Errorf("half-stripe CPI %.1f not worse than full-stripe %.1f under Ideal (pure latency cost)",
+			halfRes.CPI, fullRes.CPI)
+	}
+	if halfRes.AvgReadLatency <= fullRes.AvgReadLatency {
+		t.Errorf("half-stripe read latency %.0f not above full-stripe %.0f",
+			halfRes.AvgReadLatency, fullRes.AvgReadLatency)
+	}
+	// Every write runs as at least two rounds under half stripe.
+	if halfRes.MultiRound == 0 {
+		t.Error("half-stripe writes not marked multi-round")
+	}
+}
+
+// TestHalfStripeMappingConfinesChips: a line's cells stay within one half
+// of the chips.
+func TestHalfStripeMappingConfinesChips(t *testing.T) {
+	cfg := quickConfig(sim.SchemeIdeal)
+	cfg.HalfStripe = true
+	res, err := RunWorkload(cfg, "lbm_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 {
+		t.Fatal("no writes")
+	}
+}

@@ -1,0 +1,64 @@
+package system
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+	"fpb/internal/trace"
+	"fpb/internal/workload"
+)
+
+func TestBuildFromSourcesRuns(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeIdeal
+	cfg.InstrPerCore = 2_000
+	cfg.L3SizeMB = 1
+	sources := make([]trace.Source, cfg.Cores)
+	classes := make([]workload.ValueClass, cfg.Cores)
+	for i := range sources {
+		var accs []trace.Access
+		for k := 0; k < 3000; k++ {
+			accs = append(accs, trace.Access{
+				Gap:   3,
+				Write: k%3 == 0,
+				Addr:  uint64(i)<<40 | uint64(k)*256,
+			})
+		}
+		sources[i] = trace.NewSliceSource(accs)
+		classes[i] = workload.ValueStream
+	}
+	sys, err := BuildFromSources(cfg, sources, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.Instrs == 0 || res.DemandReads == 0 {
+		t.Fatalf("replay produced no activity: %+v", res)
+	}
+}
+
+func TestBuildFromSourcesValidates(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	if _, err := BuildFromSources(cfg, nil, nil); err == nil {
+		t.Error("mismatched source count accepted")
+	}
+	bad := cfg
+	bad.Cores = 0
+	if _, err := BuildFromSources(bad, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestParseValueClassRoundTrip(t *testing.T) {
+	for _, v := range []workload.ValueClass{
+		workload.ValueInt, workload.ValueFP, workload.ValueByte, workload.ValueStream,
+	} {
+		got, ok := workload.ParseValueClass(v.String())
+		if !ok || got != v {
+			t.Errorf("round trip failed for %v", v)
+		}
+	}
+	if _, ok := workload.ParseValueClass("nonsense"); ok {
+		t.Error("nonsense parsed")
+	}
+}

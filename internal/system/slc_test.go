@@ -1,0 +1,73 @@
+package system
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestSLCModeRuns: the simulator supports 1-bit cells (used by Figure 2's
+// SLC census and available for SLC-vs-MLC studies). SLC writes are single
+// pulses, so write pressure is far lower than MLC at equal traffic.
+func TestSLCModeRuns(t *testing.T) {
+	mlc := quickConfig(sim.SchemeDIMMChip)
+	slc := mlc
+	slc.BitsPerCell = 1
+
+	mlcRes, err := RunWorkload(mlc, "mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slcRes, err := RunWorkload(slc, "mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slcRes.CPI >= mlcRes.CPI {
+		t.Errorf("SLC CPI %.1f not below MLC %.1f (single-pulse writes must be faster)",
+			slcRes.CPI, mlcRes.CPI)
+	}
+	if slcRes.Writes == 0 {
+		t.Fatal("SLC run produced no writes")
+	}
+}
+
+// TestLowIntensityWorkload: xal_m has RPKI 0.08 — nearly no memory traffic.
+// The system must still run and show a near-1 CPI gap between schemes.
+func TestLowIntensityWorkload(t *testing.T) {
+	base, err := RunWorkload(quickConfig(sim.SchemeDIMMChip), "xal_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := RunWorkload(quickConfig(sim.SchemeIdeal), "xal_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(base, ideal); s > 2.0 {
+		t.Errorf("xal speedup Ideal vs DIMM+chip = %.2f; low-traffic workload should be insensitive", s)
+	}
+	if base.CPI <= 0 || ideal.CPI <= 0 {
+		t.Fatal("degenerate CPIs")
+	}
+}
+
+// TestLineSizeVariants: the 64B and 128B configurations of Figure 19 build
+// and run.
+func TestLineSizeVariants(t *testing.T) {
+	for _, lineB := range []int{64, 128} {
+		cfg := quickConfig(sim.SchemeGCPIPMMR)
+		cfg.CellMapping = sim.MapBIM
+		cfg.L3LineB = lineB
+		res, err := RunWorkload(cfg, "mcf_m")
+		if err != nil {
+			t.Fatalf("line %dB: %v", lineB, err)
+		}
+		if res.Writes == 0 {
+			t.Errorf("line %dB: no writes", lineB)
+		}
+		maxCells := float64(lineB * 8 / 2)
+		if res.AvgCellChanges <= 0 || res.AvgCellChanges > maxCells {
+			t.Errorf("line %dB: avg cell changes %.0f outside (0, %g]",
+				lineB, res.AvgCellChanges, maxCells)
+		}
+	}
+}

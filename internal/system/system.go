@@ -1,0 +1,263 @@
+// Package system assembles a full simulated machine — cores, cache
+// hierarchies, workload generators, the memory controller/bridge and the
+// FPB power scheduler — from one sim.Config plus a workload, runs it to the
+// instruction budget, and reports the metrics every experiment consumes
+// (CPI, speedup inputs, write throughput, write-burst fraction, token
+// telemetry).
+package system
+
+import (
+	"fmt"
+
+	"fpb/internal/cache"
+	"fpb/internal/cpu"
+	"fpb/internal/mem"
+	"fpb/internal/sim"
+	"fpb/internal/trace"
+	"fpb/internal/workload"
+)
+
+// System is one assembled machine.
+type System struct {
+	Cfg   sim.Config
+	Eng   *sim.Engine
+	MC    *mem.Controller
+	Cores []*cpu.Core
+
+	gens     []*workload.Generator
+	finished int
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	CPI    float64
+	Cycles sim.Cycle
+	Instrs uint64
+
+	DemandReads uint64
+	Writes      uint64
+	MeasRPKI    float64
+	MeasWPKI    float64
+
+	BurstFraction  float64
+	AvgCellChanges float64
+	AvgReadLatency float64
+	// WriteThroughput is completed line writes per million cycles.
+	WriteThroughput float64
+
+	MaxGCPTokens  float64
+	MaxGCPGrant   float64
+	MaxGCPSegment float64
+	AvgGCPTokens  float64
+	WastedPower   float64
+	WCCancels     uint64
+	WPPauses      uint64
+	MRAdmissions  uint64
+	MultiRound    uint64
+
+	// AvgWriteEnergyPJ is the mean programming energy per line write.
+	AvgWriteEnergyPJ float64
+	// DistinctLines / MaxLineWrites summarize write wear (endurance).
+	DistinctLines int
+	MaxLineWrites uint64
+}
+
+// Build wires a system for the configuration and workload. The workload
+// must have exactly cfg.Cores core profiles.
+func Build(cfg sim.Config, wl workload.Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wl.Cores) != cfg.Cores {
+		return nil, fmt.Errorf("system: workload %s has %d cores, config wants %d",
+			wl.Name, len(wl.Cores), cfg.Cores)
+	}
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
+	s := &System{Cfg: cfg, Eng: eng, MC: mc}
+
+	root := sim.NewRNG(cfg.Seed)
+	for i, prof := range wl.Cores {
+		coreRNG := root.Derive(uint64(1000 + i))
+		gen := workload.NewGenerator(prof, &s.Cfg, i, coreRNG.Derive(1))
+		hier := cache.NewHierarchy(&s.Cfg)
+		prefill(hier, gen, prof)
+		mut := workload.NewMutator(prof.Value, coreRNG.Derive(2))
+		core := cpu.New(i, eng, &s.Cfg, hier, gen, mut, mc, func(*cpu.Core) { s.finished++ })
+		s.Cores = append(s.Cores, core)
+		s.gens = append(s.gens, gen)
+	}
+	return s, nil
+}
+
+// prefill warms one core's caches to the measurement steady state
+// (DESIGN.md §3): the L3 holds the lines the stream walks touched just
+// before the window — interleaved load/store-region lines in their access
+// ratio, inserted oldest-first ending right behind each stream cursor —
+// and the hot region is resident in L2/L3. Capacity writebacks and
+// streaming misses then behave from instruction 0 exactly as they would
+// after a multi-hundred-million-instruction cold phase.
+func prefill(h *cache.Hierarchy, gen *workload.Generator, prof workload.CoreProfile) {
+	lineB := uint64(h.L3().LineBytes())
+	if prof.RPKI > 0 {
+		rStart, _ := gen.StreamReadRegion()
+		wStart, _ := gen.StreamWriteRegion()
+		span := gen.SpanLines()
+		wFrac := prof.WPKI / prof.RPKI
+		// Insert twice the capacity so that, despite the shuffled
+		// order's binomial spread of inserts per set, every set ends
+		// completely full (an underfilled set would absorb its first
+		// few fills without evicting, suppressing early writebacks).
+		total := uint64(h.L3CapacityLines()) * 2
+		nW := uint64(float64(total) * wFrac)
+		nR := total - nW
+		// The resident set is the lines just behind each stream cursor,
+		// dirty for the store stream. Insertion order is shuffled so
+		// per-set LRU ages are independent of the cursors' relative
+		// phase: early-eviction victims are then dirty with the true
+		// steady-state probability (wFrac) for every seed, instead of
+		// whatever the arbitrary phase alignment would dictate.
+		type ins struct {
+			addr  uint64
+			dirty bool
+		}
+		inserts := make([]ins, 0, nR+nW)
+		for k := uint64(0); k < nR; k++ {
+			pos := (gen.ReadCursor() + span - 1 - k) % span
+			inserts = append(inserts, ins{addr: rStart + pos*lineB})
+		}
+		for k := uint64(0); k < nW; k++ {
+			pos := (gen.WriteCursor() + span - 1 - k) % span
+			inserts = append(inserts, ins{addr: wStart + pos*lineB, dirty: true})
+		}
+		rng := sim.NewRNG(gen.ReadCursor()*31 + gen.WriteCursor()*17 + 0xC0FFEE)
+		perm := make([]int, len(inserts))
+		rng.Perm(perm)
+		for _, idx := range perm {
+			h.L3().Access(inserts[idx].addr, inserts[idx].dirty)
+		}
+	}
+	// Hot region last (most recent): full-path accesses warm L1/L2/L3.
+	hotStart, hotSpan := gen.HotRegion()
+	for addr := hotStart; addr < hotStart+hotSpan; addr += 64 {
+		h.Access(addr, false)
+	}
+	h.ResetStats()
+}
+
+// Run executes until every core retires its budget (or the event heap
+// drains, which indicates a deadlock and panics). It returns the collected
+// metrics.
+func (s *System) Run() Result {
+	for _, c := range s.Cores {
+		c.Start()
+	}
+	for s.finished < len(s.Cores) {
+		if !s.Eng.Step() {
+			s.MC.DumpState()
+			panic(fmt.Sprintf("system: deadlock — %d/%d cores finished, no events pending",
+				s.finished, len(s.Cores)))
+		}
+	}
+	return s.collect()
+}
+
+func (s *System) collect() Result {
+	var r Result
+	r.Scheme = s.Cfg.Scheme.String()
+	var cycles uint64
+	for _, c := range s.Cores {
+		r.Instrs += c.InstrRetired()
+		fc := c.FinishCycle()
+		if !c.Finished() {
+			fc = s.Eng.Now()
+		}
+		cycles += uint64(fc)
+		reads, writes := c.MemCounts()
+		r.DemandReads += reads
+		r.Writes += writes
+	}
+	r.Cycles = s.Eng.Now()
+	if r.Instrs > 0 {
+		r.CPI = float64(cycles) / float64(r.Instrs)
+		ki := float64(r.Instrs) / 1000
+		r.MeasRPKI = float64(r.DemandReads) / ki
+		r.MeasWPKI = float64(r.Writes) / ki
+	}
+	if r.Cycles > 0 {
+		r.BurstFraction = float64(s.MC.BurstCycles()) / float64(r.Cycles)
+		_, _, _, writesDone, cancels, pauses := s.MC.Counts()
+		r.WriteThroughput = float64(writesDone) / float64(r.Cycles) * 1e6
+		r.WCCancels = cancels
+		r.WPPauses = pauses
+	}
+	r.AvgCellChanges = s.MC.CellChanges().Mean()
+	r.AvgReadLatency = s.MC.ReadLatency().Mean()
+	r.AvgWriteEnergyPJ = s.MC.WriteEnergy().Mean()
+	r.DistinctLines, r.MaxLineWrites = s.MC.Endurance()
+	mgr := s.MC.Scheduler().Manager()
+	r.MaxGCPTokens = mgr.MaxGCPOut()
+	r.MaxGCPGrant = mgr.MaxGCPGrant()
+	r.MaxGCPSegment = mgr.MaxGCPSegment()
+	r.AvgGCPTokens = mgr.AvgGCPPerWrite()
+	r.WastedPower = mgr.WastedInputPower()
+	_, _, mr, rounds, _, _ := s.MC.Scheduler().Stats()
+	r.MRAdmissions = mr
+	r.MultiRound = rounds
+	return r
+}
+
+// BuildFromSources assembles a system whose cores replay externally
+// provided traces (e.g. files written by cmd/tracegen) instead of live
+// generators. classes supplies each core's value-mutation model for
+// writeback content synthesis. Caches start cold — a trace carries no
+// region metadata to prefill from — so short replays under-report
+// writebacks relative to generated runs; replay is intended for
+// functional studies and cross-checking stored traces.
+func BuildFromSources(cfg sim.Config, sources []trace.Source, classes []workload.ValueClass) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Cores || len(classes) != cfg.Cores {
+		return nil, fmt.Errorf("system: %d sources / %d classes for %d cores",
+			len(sources), len(classes), cfg.Cores)
+	}
+	eng := sim.NewEngine()
+	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
+	s := &System{Cfg: cfg, Eng: eng, MC: mc}
+	root := sim.NewRNG(cfg.Seed)
+	for i, src := range sources {
+		hier := cache.NewHierarchy(&s.Cfg)
+		mut := workload.NewMutator(classes[i], root.Derive(uint64(2000+i)))
+		core := cpu.New(i, eng, &s.Cfg, hier, src, mut, mc, func(*cpu.Core) { s.finished++ })
+		s.Cores = append(s.Cores, core)
+	}
+	return s, nil
+}
+
+// RunWorkload is the one-call helper most experiments use: build and run
+// the named workload under the configuration.
+func RunWorkload(cfg sim.Config, name string) (Result, error) {
+	wl, err := workload.ByName(name, cfg.Cores)
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := Build(cfg, wl)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sys.Run()
+	res.Workload = name
+	return res, nil
+}
+
+// Speedup computes CPI_baseline / CPI_tech (Eq. 7).
+func Speedup(baseline, tech Result) float64 {
+	if tech.CPI == 0 {
+		return 0
+	}
+	return baseline.CPI / tech.CPI
+}

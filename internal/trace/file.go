@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Header describes a stored trace file.
+type Header struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	Workload string `json:"workload"`
+	Core     int    `json:"core"`
+	// Value optionally names the data-value class of the traced
+	// benchmark ("int", "fp", "byte", "stream"), so replay can
+	// reconstruct writeback contents.
+	Value   string `json:"value,omitempty"`
+	Records uint64 `json:"records"`
+}
+
+const (
+	magic         = "fpb-trace"
+	formatVersion = 1
+)
+
+// Writer streams accesses to an io.Writer: a one-line JSON header followed
+// by fixed-width little-endian records (gap uint32, flags uint8, addr
+// uint64).
+type Writer struct {
+	w       *bufio.Writer
+	header  Header
+	records uint64
+	started bool
+}
+
+// NewWriter creates a trace writer for the given workload/core labels.
+func NewWriter(w io.Writer, workload string, core int) *Writer {
+	return &Writer{
+		w:      bufio.NewWriter(w),
+		header: Header{Magic: magic, Version: formatVersion, Workload: workload, Core: core},
+	}
+}
+
+// SetValueClass records the benchmark's data-value class in the header;
+// it must be called before the first Write.
+func (tw *Writer) SetValueClass(v string) {
+	if !tw.started {
+		tw.header.Value = v
+	}
+}
+
+// Write appends one access record.
+func (tw *Writer) Write(a Access) error {
+	if !tw.started {
+		// Records count is unknown up front; it is written as 0 and
+		// readers trust EOF instead.
+		hdr, err := json.Marshal(tw.header)
+		if err != nil {
+			return err
+		}
+		if _, err := tw.w.Write(append(hdr, '\n')); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	var buf [13]byte
+	binary.LittleEndian.PutUint32(buf[0:4], a.Gap)
+	if a.Write {
+		buf[4] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[5:13], a.Addr)
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.records++
+	return nil
+}
+
+// Flush finalizes buffered output. Callers must Flush before closing the
+// underlying file.
+func (tw *Writer) Flush() error {
+	if !tw.started {
+		// Emit the header even for empty traces.
+		hdr, err := json.Marshal(tw.header)
+		if err != nil {
+			return err
+		}
+		if _, err := tw.w.Write(append(hdr, '\n')); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	return tw.w.Flush()
+}
+
+// Records reports how many accesses have been written.
+func (tw *Writer) Records() uint64 { return tw.records }
+
+// Reader replays a stored trace; it implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+	err    error
+}
+
+// NewReader parses the header and prepares to stream records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, fmt.Errorf("trace: parsing header: %w", err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", h.Magic)
+	}
+	if h.Version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", h.Version)
+	}
+	return &Reader{r: br, header: h}, nil
+}
+
+// Header returns the file's metadata.
+func (tr *Reader) Header() Header { return tr.header }
+
+// Err returns the first non-EOF error encountered while streaming.
+func (tr *Reader) Err() error { return tr.err }
+
+// Next implements Source.
+func (tr *Reader) Next() (Access, bool) {
+	var buf [13]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			tr.err = err
+		}
+		return Access{}, false
+	}
+	return Access{
+		Gap:   binary.LittleEndian.Uint32(buf[0:4]),
+		Write: buf[4] == 1,
+		Addr:  binary.LittleEndian.Uint64(buf[5:13]),
+	}, true
+}

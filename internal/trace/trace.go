@@ -1,0 +1,78 @@
+// Package trace defines the memory-access trace representation the CPU
+// model consumes: a per-core stream of (instruction gap, read/write,
+// address) records, equivalent to the PIN-collected traces the paper's
+// simulator is driven by. Traces can be generated on the fly
+// (internal/workload) or stored to and replayed from files (cmd/tracegen).
+package trace
+
+// Access is one memory instruction in a core's dynamic instruction stream.
+type Access struct {
+	// Gap is the number of non-memory instructions executed before this
+	// access (each costing one cycle on the in-order core).
+	Gap uint32
+	// Write marks a store; loads block the core until data returns.
+	Write bool
+	// Addr is the byte address accessed.
+	Addr uint64
+}
+
+// Instructions returns the instruction count the access represents: the
+// gap plus the memory instruction itself.
+func (a Access) Instructions() uint64 { return uint64(a.Gap) + 1 }
+
+// Source produces a core's access stream. Next returns ok=false when the
+// stream is exhausted (generated streams are typically infinite and are cut
+// off by the instruction budget instead).
+type Source interface {
+	Next() (Access, bool)
+}
+
+// SliceSource replays a fixed slice of accesses; used by tests and file
+// replay.
+type SliceSource struct {
+	accesses []Access
+	pos      int
+}
+
+// NewSliceSource wraps accesses in a Source.
+func NewSliceSource(accesses []Access) *SliceSource {
+	return &SliceSource{accesses: accesses}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Access, bool) {
+	if s.pos >= len(s.accesses) {
+		return Access{}, false
+	}
+	a := s.accesses[s.pos]
+	s.pos++
+	return a, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Repeat wraps a SliceSource so it loops forever; the instruction budget
+// terminates the simulation instead of the trace.
+type Repeat struct {
+	inner *SliceSource
+}
+
+// NewRepeat returns an endlessly looping view of accesses. It panics on an
+// empty slice (the loop would never produce anything).
+func NewRepeat(accesses []Access) *Repeat {
+	if len(accesses) == 0 {
+		panic("trace: Repeat over empty slice")
+	}
+	return &Repeat{inner: NewSliceSource(accesses)}
+}
+
+// Next implements Source; it never returns ok=false.
+func (r *Repeat) Next() (Access, bool) {
+	a, ok := r.inner.Next()
+	if !ok {
+		r.inner.Reset()
+		a, _ = r.inner.Next()
+	}
+	return a, true
+}

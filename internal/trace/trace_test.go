@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessInstructions(t *testing.T) {
+	a := Access{Gap: 9}
+	if a.Instructions() != 10 {
+		t.Errorf("Instructions = %d, want 10", a.Instructions())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	accs := []Access{{Gap: 1, Addr: 0x40}, {Gap: 2, Write: true, Addr: 0x80}}
+	s := NewSliceSource(accs)
+	a, ok := s.Next()
+	if !ok || a.Addr != 0x40 {
+		t.Fatal("first access wrong")
+	}
+	a, ok = s.Next()
+	if !ok || !a.Write {
+		t.Fatal("second access wrong")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source returned ok")
+	}
+	s.Reset()
+	if _, ok := s.Next(); !ok {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestRepeatLoopsForever(t *testing.T) {
+	r := NewRepeat([]Access{{Addr: 1}, {Addr: 2}})
+	want := []uint64{1, 2, 1, 2, 1}
+	for i, w := range want {
+		a, ok := r.Next()
+		if !ok || a.Addr != w {
+			t.Fatalf("iteration %d: got %d ok=%v, want %d", i, a.Addr, ok, w)
+		}
+	}
+}
+
+func TestRepeatEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Repeat over empty slice did not panic")
+		}
+	}()
+	NewRepeat(nil)
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "mcf_m", 3)
+	accs := []Access{
+		{Gap: 100, Write: false, Addr: 0xDEADBEEF},
+		{Gap: 0, Write: true, Addr: 0x1000},
+		{Gap: 4_000_000, Write: true, Addr: 1 << 40},
+	}
+	for _, a := range accs {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 3 {
+		t.Errorf("Records = %d", w.Records())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Header(); h.Workload != "mcf_m" || h.Core != 3 {
+		t.Errorf("header = %+v", h)
+	}
+	for i, want := range accs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		if got != want {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("extra record after EOF")
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestFileEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "empty", 0)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("empty trace produced a record")
+	}
+}
+
+func TestFileBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("{\"magic\":\"nope\"}\n")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewBufferString("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(bytes.NewBufferString("")); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(gaps []uint32, addrs []uint64) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, "prop", 0)
+		var want []Access
+		for i := 0; i < n; i++ {
+			a := Access{Gap: gaps[i], Write: gaps[i]%2 == 0, Addr: addrs[i]}
+			want = append(want, a)
+			if err := w.Write(a); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, wa := range want {
+			got, ok := r.Next()
+			if !ok || got != wa {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestFootprintSemantics: non-STREAM benchmarks have a fixed 64MB working
+// set per stream; STREAM kernels scale with the LLC (DESIGN.md §6).
+func TestFootprintSemantics(t *testing.T) {
+	for _, llcMB := range []int{8, 32, 128} {
+		cfg := sim.DefaultConfig()
+		cfg.L3SizeMB = llcMB
+		intGen := NewGenerator(profMcf, &cfg, 0, sim.NewRNG(1))
+		strGen := NewGenerator(profCopy, &cfg, 0, sim.NewRNG(1))
+
+		wantFixed := uint64(fixedFootprintBytes / cfg.L3LineB)
+		if got := intGen.SpanLines(); got != wantFixed {
+			t.Errorf("LLC %dMB: int span = %d lines, want fixed %d", llcMB, got, wantFixed)
+		}
+		wantScaled := uint64(llcMB) * 1024 * 1024 / uint64(cfg.L3LineB) * 2
+		if got := strGen.SpanLines(); got != wantScaled {
+			t.Errorf("LLC %dMB: stream span = %d lines, want scaled %d", llcMB, got, wantScaled)
+		}
+	}
+}
+
+// TestLineScaleSublinear: at 64B lines the stream rate doubles (exponent
+// 0.5), not quadruples.
+func TestLineScaleSublinear(t *testing.T) {
+	measure := func(lineB int) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.L3SizeMB = 1
+		cfg.L3LineB = lineB
+		g := NewGenerator(profMcf, &cfg, 0, sim.NewRNG(3))
+		wStart, wSpan := g.StreamWriteRegion()
+		var instr, stores uint64
+		for i := 0; i < 200000; i++ {
+			a, _ := g.Next()
+			instr += a.Instructions()
+			// Count only stream stores; hot-region stores do not
+			// reach memory and do not scale with line size.
+			if a.Write && a.Addr >= wStart && a.Addr < wStart+wSpan {
+				stores++
+			}
+		}
+		return float64(stores) / float64(instr) * 1000
+	}
+	w256 := measure(256)
+	w64 := measure(64)
+	ratio := w64 / w256
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("64B/256B store-rate ratio = %.2f, want ~2 (exponent 0.5)", ratio)
+	}
+}

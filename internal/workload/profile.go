@@ -1,0 +1,190 @@
+// Package workload provides the synthetic multi-programmed workloads that
+// substitute for the paper's PIN-collected SPEC2006 / BioBench / MiBench /
+// STREAM traces (see DESIGN.md §3). Each benchmark is modeled by a per-core
+// profile that pins the post-L3 memory intensity to Table 2's R/W-PKI and a
+// data-value mutation model that reproduces the cell-change behaviour
+// behind Fig. 2 (integer low-order-bit churn, FP mantissa churn, byte
+// streams), which in turn drives the chip imbalance that motivates VIM/BIM.
+package workload
+
+import "fmt"
+
+// ValueClass selects the data-value mutation model of a benchmark.
+type ValueClass int
+
+const (
+	// ValueInt: integer-dominated lines; updates add small deltas to
+	// 32-bit words, churning low-order bits (astar, mcf, xalancbmk,
+	// qsort).
+	ValueInt ValueClass = iota
+	// ValueFP: floating-point lines; updates rewrite mantissa bits of
+	// 64-bit doubles (bwaves, lbm, leslie3d).
+	ValueFP
+	// ValueByte: byte-string data with scattered byte replacements
+	// (mummer, tigr).
+	ValueByte
+	// ValueStream: bulk data movement that replaces most of the line
+	// (STREAM copy/add/scale/triad).
+	ValueStream
+)
+
+// ParseValueClass inverts ValueClass.String; unknown strings default to
+// ValueInt with ok=false.
+func ParseValueClass(s string) (ValueClass, bool) {
+	switch s {
+	case "int":
+		return ValueInt, true
+	case "fp":
+		return ValueFP, true
+	case "byte":
+		return ValueByte, true
+	case "stream":
+		return ValueStream, true
+	}
+	return ValueInt, false
+}
+
+func (v ValueClass) String() string {
+	switch v {
+	case ValueInt:
+		return "int"
+	case ValueFP:
+		return "fp"
+	case ValueByte:
+		return "byte"
+	case ValueStream:
+		return "stream"
+	}
+	return fmt.Sprintf("ValueClass(%d)", int(v))
+}
+
+// CoreProfile describes one core's benchmark.
+type CoreProfile struct {
+	Name string
+	// RPKI and WPKI are the target PCM-level read and write accesses per
+	// thousand instructions (Table 2). The generator realizes them with
+	// streaming loads/stores at L3-line granularity: WPKI streaming
+	// stores (each produces a demand fill and later a writeback) and
+	// RPKI−WPKI streaming loads.
+	RPKI, WPKI float64
+	// HotAPKI is the rate of cache-resident accesses that exercise the
+	// SRAM levels without touching memory.
+	HotAPKI float64
+	// Value selects the mutation model applied to written lines.
+	Value ValueClass
+}
+
+// Workload is a named multi-programmed combination of per-core profiles.
+type Workload struct {
+	Name  string
+	Cores []CoreProfile
+}
+
+// homogeneous builds an n-core workload of one profile.
+func homogeneous(name string, p CoreProfile, n int) Workload {
+	cores := make([]CoreProfile, n)
+	for i := range cores {
+		cores[i] = p
+	}
+	return Workload{Name: name, Cores: cores}
+}
+
+// Base per-core benchmark profiles. R/W-PKI follow Table 2 (for the
+// homogeneous 8-copy workloads these equal the workload-level numbers); the
+// STREAM kernels reuse the S.copy intensity with small spreads.
+var (
+	profAstar  = CoreProfile{Name: "C.astar", RPKI: 2.45, WPKI: 1.12, HotAPKI: 30, Value: ValueInt}
+	profBwaves = CoreProfile{Name: "C.bwaves", RPKI: 3.59, WPKI: 1.68, HotAPKI: 30, Value: ValueFP}
+	profLbm    = CoreProfile{Name: "C.lbm", RPKI: 3.63, WPKI: 1.82, HotAPKI: 30, Value: ValueFP}
+	profLeslie = CoreProfile{Name: "C.leslie3d", RPKI: 2.59, WPKI: 1.29, HotAPKI: 30, Value: ValueFP}
+	profMcf    = CoreProfile{Name: "C.mcf", RPKI: 4.74, WPKI: 2.29, HotAPKI: 30, Value: ValueInt}
+	profXalan  = CoreProfile{Name: "C.xalancbmk", RPKI: 0.08, WPKI: 0.07, HotAPKI: 30, Value: ValueInt}
+	profMummer = CoreProfile{Name: "B.mummer", RPKI: 10.8, WPKI: 4.16, HotAPKI: 30, Value: ValueByte}
+	profTigr   = CoreProfile{Name: "B.tigr", RPKI: 6.94, WPKI: 0.81, HotAPKI: 30, Value: ValueByte}
+	profQsort  = CoreProfile{Name: "M.qsort", RPKI: 0.51, WPKI: 0.47, HotAPKI: 30, Value: ValueInt}
+	profCopy   = CoreProfile{Name: "S.copy", RPKI: 0.57, WPKI: 0.42, HotAPKI: 30, Value: ValueStream}
+	profAdd    = CoreProfile{Name: "S.add", RPKI: 0.60, WPKI: 0.40, HotAPKI: 30, Value: ValueStream}
+	profScale  = CoreProfile{Name: "S.scale", RPKI: 0.55, WPKI: 0.42, HotAPKI: 30, Value: ValueStream}
+	profTriad  = CoreProfile{Name: "S.triad", RPKI: 0.62, WPKI: 0.41, HotAPKI: 30, Value: ValueStream}
+)
+
+// mix builds the paper's 2+2+2+2 heterogeneous workloads.
+func mix(name string, a, b, c, d CoreProfile) Workload {
+	return Workload{Name: name, Cores: []CoreProfile{a, a, b, b, c, c, d, d}}
+}
+
+// Names lists the 14 simulated workloads in the paper's presentation order.
+var Names = []string{
+	"ast_m", "bwa_m", "lbm_m", "les_m", "mcf_m", "xal_m",
+	"mum_m", "tig_m", "qso_m", "cop_m", "mix_1", "mix_2", "mix_3",
+	"gmean", // pseudo-entry used by result tables; not a workload
+}
+
+// ByName returns the workload for one of the 13 simulated names (gmean is
+// an aggregate, not a workload).
+func ByName(name string, cores int) (Workload, error) {
+	switch name {
+	case "ast_m":
+		return homogeneous(name, profAstar, cores), nil
+	case "bwa_m":
+		return homogeneous(name, profBwaves, cores), nil
+	case "lbm_m":
+		return homogeneous(name, profLbm, cores), nil
+	case "les_m":
+		return homogeneous(name, profLeslie, cores), nil
+	case "mcf_m":
+		return homogeneous(name, profMcf, cores), nil
+	case "xal_m":
+		return homogeneous(name, profXalan, cores), nil
+	case "mum_m":
+		return homogeneous(name, profMummer, cores), nil
+	case "tig_m":
+		return homogeneous(name, profTigr, cores), nil
+	case "qso_m":
+		return homogeneous(name, profQsort, cores), nil
+	case "cop_m":
+		return homogeneous(name, profCopy, cores), nil
+	case "mix_1":
+		return mix(name, profAdd, profLbm, profXalan, profMummer), nil
+	case "mix_2":
+		return mix(name, profScale, profMcf, profXalan, profBwaves), nil
+	case "mix_3":
+		return mix(name, profTriad, profTigr, profXalan, profLeslie), nil
+	}
+	return Workload{}, fmt.Errorf("workload: unknown name %q", name)
+}
+
+// All returns the 13 simulated workloads.
+func All(cores int) []Workload {
+	out := make([]Workload, 0, 13)
+	for _, n := range Names {
+		if n == "gmean" {
+			continue
+		}
+		w, err := ByName(n, cores)
+		if err != nil {
+			panic(err) // Names and ByName are maintained together
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TargetRPKI returns the workload-level expected PCM read PKI (mean over
+// cores), for calibration reporting.
+func (w Workload) TargetRPKI() float64 {
+	s := 0.0
+	for _, c := range w.Cores {
+		s += c.RPKI
+	}
+	return s / float64(len(w.Cores))
+}
+
+// TargetWPKI returns the workload-level expected PCM write PKI.
+func (w Workload) TargetWPKI() float64 {
+	s := 0.0
+	for _, c := range w.Cores {
+		s += c.WPKI
+	}
+	return s / float64(len(w.Cores))
+}

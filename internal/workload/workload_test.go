@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fpb/internal/pcm"
+	"fpb/internal/sim"
+)
+
+func TestByNameCoversAllWorkloads(t *testing.T) {
+	count := 0
+	for _, n := range Names {
+		if n == "gmean" {
+			continue
+		}
+		w, err := ByName(n, 8)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if len(w.Cores) != 8 {
+			t.Errorf("%s: %d cores, want 8", n, len(w.Cores))
+		}
+		count++
+	}
+	if count != 13 {
+		t.Errorf("covered %d workloads, want 13", count)
+	}
+	if _, err := ByName("nope", 8); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if got := len(All(8)); got != 13 {
+		t.Errorf("All returned %d workloads", got)
+	}
+}
+
+func TestMixCompositions(t *testing.T) {
+	w, _ := ByName("mix_1", 8)
+	// 2S.add-2C.lbm-2C.xalan-2B.mummer
+	wantNames := []string{"S.add", "S.add", "C.lbm", "C.lbm",
+		"C.xalancbmk", "C.xalancbmk", "B.mummer", "B.mummer"}
+	for i, c := range w.Cores {
+		if c.Name != wantNames[i] {
+			t.Errorf("mix_1 core %d = %s, want %s", i, c.Name, wantNames[i])
+		}
+	}
+}
+
+func TestTargetPKIMatchesTable2(t *testing.T) {
+	cases := map[string][2]float64{
+		"mcf_m": {4.74, 2.29},
+		"mum_m": {10.8, 4.16},
+		"xal_m": {0.08, 0.07},
+	}
+	for name, want := range cases {
+		w, _ := ByName(name, 8)
+		if math.Abs(w.TargetRPKI()-want[0]) > 1e-9 {
+			t.Errorf("%s RPKI = %g, want %g", name, w.TargetRPKI(), want[0])
+		}
+		if math.Abs(w.TargetWPKI()-want[1]) > 1e-9 {
+			t.Errorf("%s WPKI = %g, want %g", name, w.TargetWPKI(), want[1])
+		}
+	}
+}
+
+func TestWorkloadRWPKIOrderingSane(t *testing.T) {
+	// RPKI >= WPKI must hold for the calibration identity
+	// (store-stream APKI = WPKI, load-stream APKI = RPKI − WPKI).
+	for _, w := range All(8) {
+		for _, c := range w.Cores {
+			if c.WPKI > c.RPKI {
+				t.Errorf("%s/%s: WPKI %g > RPKI %g", w.Name, c.Name, c.WPKI, c.RPKI)
+			}
+		}
+	}
+}
+
+func TestGeneratorRates(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.L3SizeMB = 1 // keep spans small for the test
+	prof := profMcf
+	g := NewGenerator(prof, &cfg, 0, sim.NewRNG(42))
+	const draws = 300000
+	var instr, sReads, sWrites, hot uint64
+	rStart, rSpan := g.StreamReadRegion()
+	wStart, wSpan := g.StreamWriteRegion()
+	hStart, hSpan := g.HotRegion()
+	for i := 0; i < draws; i++ {
+		a, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended")
+		}
+		instr += a.Instructions()
+		switch {
+		case a.Addr >= wStart && a.Addr < wStart+wSpan:
+			if !a.Write {
+				t.Fatal("read in write-stream region")
+			}
+			sWrites++
+		case a.Addr >= rStart && a.Addr < rStart+rSpan:
+			if a.Write {
+				t.Fatal("write in read-stream region")
+			}
+			sReads++
+		case a.Addr >= hStart && a.Addr < hStart+hSpan:
+			hot++
+		default:
+			t.Fatalf("access outside all regions: %#x", a.Addr)
+		}
+	}
+	ki := float64(instr) / 1000
+	gotWPKI := float64(sWrites) / ki
+	gotRPKI := float64(sWrites+sReads) / ki
+	if math.Abs(gotWPKI-prof.WPKI) > prof.WPKI*0.1 {
+		t.Errorf("measured stream-store PKI %.3f, want %.3f", gotWPKI, prof.WPKI)
+	}
+	if math.Abs(gotRPKI-prof.RPKI) > prof.RPKI*0.1 {
+		t.Errorf("measured stream PKI %.3f, want %.3f", gotRPKI, prof.RPKI)
+	}
+	if hot == 0 {
+		t.Error("no hot accesses generated")
+	}
+}
+
+func TestGeneratorStreamsAreSequentialLines(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.L3SizeMB = 1
+	g := NewGenerator(profLbm, &cfg, 2, sim.NewRNG(7))
+	wStart, _ := g.StreamWriteRegion()
+	var prev uint64
+	seen := false
+	for i := 0; i < 10000; i++ {
+		a, _ := g.Next()
+		if !a.Write || a.Addr < wStart {
+			continue
+		}
+		if a.Addr%uint64(cfg.L3LineB) != 0 {
+			t.Fatalf("stream store %#x not line aligned", a.Addr)
+		}
+		if seen && a.Addr != prev+uint64(cfg.L3LineB) && a.Addr > prev {
+			t.Fatalf("stream stores not sequential: %#x after %#x", a.Addr, prev)
+		}
+		prev, seen = a.Addr, true
+	}
+	if !seen {
+		t.Fatal("no stream stores observed")
+	}
+}
+
+func TestGeneratorCoreSpacesDisjoint(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.L3SizeMB = 1
+	g0 := NewGenerator(profMcf, &cfg, 0, sim.NewRNG(1))
+	g1 := NewGenerator(profMcf, &cfg, 1, sim.NewRNG(2))
+	for i := 0; i < 1000; i++ {
+		a0, _ := g0.Next()
+		a1, _ := g1.Next()
+		if a0.Addr>>coreSpaceShift != 0 {
+			t.Fatal("core 0 escaped its space")
+		}
+		if a1.Addr>>coreSpaceShift != 1 {
+			t.Fatal("core 1 escaped its space")
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	a := NewGenerator(profAstar, &cfg, 0, sim.NewRNG(9))
+	b := NewGenerator(profAstar, &cfg, 0, sim.NewRNG(9))
+	for i := 0; i < 1000; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestMutatorCellChangeRanges(t *testing.T) {
+	const lineB = 256
+	cases := []struct {
+		class    ValueClass
+		min, max float64 // changed MLC cells per 256B write (1024 cells)
+	}{
+		{ValueInt, 60, 450},
+		{ValueFP, 100, 550},
+		{ValueByte, 120, 500},
+		{ValueStream, 250, 700},
+	}
+	for _, c := range cases {
+		m := NewMutator(c.class, sim.NewRNG(11))
+		old := make([]byte, lineB)
+		var total int
+		const writes = 300
+		for i := 0; i < writes; i++ {
+			next := m.Next(old, lineB)
+			total += pcm.CountChangedCells(old, next, 2)
+			old = next
+		}
+		mean := float64(total) / writes
+		if mean < c.min || mean > c.max {
+			t.Errorf("%v: mean cell changes %.0f outside [%g, %g]", c.class, mean, c.min, c.max)
+		}
+	}
+}
+
+func TestMutatorIntChurnsLowOrderCells(t *testing.T) {
+	m := NewMutator(ValueInt, sim.NewRNG(5))
+	old := make([]byte, 256)
+	lowChanges, highChanges := 0, 0
+	for i := 0; i < 200; i++ {
+		next := m.Next(old, 256)
+		for _, cell := range pcm.DiffCells(nil, old, next, 2) {
+			// 16 MLC cells per 32-bit word... 32 bits = 16 cells;
+			// position within word:
+			if cell%16 < 8 {
+				lowChanges++
+			} else {
+				highChanges++
+			}
+		}
+		old = next
+	}
+	if lowChanges <= highChanges {
+		t.Errorf("integer model: low-order changes %d not above high-order %d",
+			lowChanges, highChanges)
+	}
+}
+
+func TestMutatorPreservesLength(t *testing.T) {
+	for _, class := range []ValueClass{ValueInt, ValueFP, ValueByte, ValueStream} {
+		m := NewMutator(class, sim.NewRNG(3))
+		out := m.Next(nil, 64)
+		if len(out) != 64 {
+			t.Errorf("%v: output length %d", class, len(out))
+		}
+	}
+}
+
+func TestValueClassStrings(t *testing.T) {
+	if ValueInt.String() != "int" || ValueStream.String() != "stream" {
+		t.Error("value class strings wrong")
+	}
+	if ValueClass(42).String() == "" {
+		t.Error("unknown class must stringify")
+	}
+}
