@@ -1,0 +1,29 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: vet, build, and the race-enabled test suite.
+check: vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...
+	rm -f fpbsim fpbexp *.trace *.prof probes.csv

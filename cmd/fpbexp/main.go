@@ -9,13 +9,21 @@
 // Each experiment prints the same rows/series the corresponding figure or
 // table of the paper reports (speedups over the same normalization
 // baseline). -instr scales simulation length; larger values reduce noise.
+//
+// Profiling and observability: -pprof serves net/http/pprof, -cpuprofile /
+// -memprofile write whole-run profiles, and -metricsdir dumps one metrics
+// registry JSON per simulated (config, workload) pair.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,8 +39,48 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
 		out       = flag.String("out", "", "also append results to this file")
 		bars      = flag.Bool("bars", false, "also render each result column as an ASCII bar chart")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		metricsDir = flag.String("metricsdir", "", "dump one metrics-registry JSON per simulation into this directory")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fpbexp: pprof:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbexp:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpbexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fpbexp:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -41,7 +89,7 @@ func main() {
 		return
 	}
 
-	opt := exp.Options{InstrPerCore: *instr}
+	opt := exp.Options{InstrPerCore: *instr, MetricsDir: *metricsDir}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}

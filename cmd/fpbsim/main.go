@@ -5,9 +5,20 @@
 //
 //	fpbsim -workload mcf_m -scheme fpb -instr 200000
 //	fpbsim -workload lbm_m -scheme dimm+chip -mapping vim -gcpeff 0.5
+//	fpbsim -workload mcf_m -scheme fpb -trace out.trace -metrics out.json -probe-interval 10000
 //
 // Schemes: ideal, dimm-only, dimm+chip, gcp, gcp+ipm, fpb (= gcp+ipm+mr),
 // ipm, ipm+mr. Mappings: ne, vim, bim.
+//
+// Observability (see README "Observability"):
+//
+//	-trace FILE           Chrome trace_event JSON (open in chrome://tracing)
+//	-trace-jsonl FILE     raw JSONL event stream (byte-deterministic per seed)
+//	-trace-cats LIST      event categories (mem,power,core,engine); default all but engine
+//	-trace-sample N       keep only every Nth trace event
+//	-metrics FILE         end-of-run metrics registry dump (JSON)
+//	-probe-interval N     sample every gauge each N cycles into -probe-csv
+//	-probe-csv FILE       probe CSV path (default probes.csv)
 package main
 
 import (
@@ -15,8 +26,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
+	"fpb/internal/obs"
 	"fpb/internal/sim"
 	"fpb/internal/system"
 	"fpb/internal/trace"
@@ -41,6 +54,22 @@ var mappings = map[string]sim.Mapping{
 	"bim": sim.MapBIM,
 }
 
+// validNames renders a map's keys as a sorted comma-separated list for
+// error messages.
+func validNames[V any](m map[string]V) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fpbsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		wl       = flag.String("workload", "mcf_m", "workload name (ast_m..cop_m, mix_1..mix_3)")
@@ -57,18 +86,24 @@ func main() {
 		wt       = flag.Bool("wt", false, "enable write truncation")
 		seed     = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
 		traceDir = flag.String("tracedir", "", "replay per-core trace files <dir>/<workload>.coreN.trace instead of generating")
+
+		traceOut      = flag.String("trace", "", "write Chrome trace_event JSON to this file")
+		traceJSONL    = flag.String("trace-jsonl", "", "write the raw JSONL event stream to this file")
+		traceCats     = flag.String("trace-cats", "", "comma-separated trace categories (mem,power,core,engine); default: all but engine")
+		traceSample   = flag.Uint64("trace-sample", 0, "keep only every Nth trace event (0/1 = all)")
+		metricsOut    = flag.String("metrics", "", "write the end-of-run metrics registry to this JSON file")
+		probeInterval = flag.Uint64("probe-interval", 0, "sample every gauge each N cycles into -probe-csv (0 = off)")
+		probeOut      = flag.String("probe-csv", "probes.csv", "time-series probe CSV path (with -probe-interval)")
 	)
 	flag.Parse()
 
 	s, ok := schemes[strings.ToLower(*scheme)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fpbsim: unknown scheme %q\n", *scheme)
-		os.Exit(1)
+		fail("unknown scheme %q (valid: %s)", *scheme, validNames(schemes))
 	}
 	m, ok := mappings[strings.ToLower(*mapName)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fpbsim: unknown mapping %q\n", *mapName)
-		os.Exit(1)
+		fail("unknown mapping %q (valid: %s)", *mapName, validNames(mappings))
 	}
 
 	cfg := sim.DefaultConfig()
@@ -87,20 +122,76 @@ func main() {
 		cfg.Seed = *seed
 	}
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "fpbsim:", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
-	var res system.Result
-	var err error
-	if *traceDir != "" {
-		res, err = replayTraces(cfg, *traceDir, *wl)
-	} else {
-		res, err = system.RunWorkload(cfg, *wl)
-	}
+	sys, err := buildSystem(cfg, *traceDir, *wl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fpbsim:", err)
-		os.Exit(1)
+		fail("%v", err)
+	}
+
+	// Observability attachments; everything stays off without its flag.
+	var sinks []obs.Sink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		sinks = append(sinks, obs.NewChrome(f, cfg.CPUFreqGHz*1000))
+	}
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fail("%v", err)
+		}
+		sinks = append(sinks, obs.NewJSONL(f))
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.NewTracer(sinks...)
+		if *traceCats != "" {
+			tracer.FilterCats(strings.Split(*traceCats, ",")...)
+		}
+		tracer.Sample(*traceSample)
+		sys.EnableTrace(tracer)
+	}
+	var prober *obs.Prober
+	if *probeInterval > 0 {
+		f, err := os.Create(*probeOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		prober = sys.EnableProbes(sim.Cycle(*probeInterval), f)
+	}
+
+	res := sys.Run()
+	if *traceDir != "" {
+		res.Workload = *wl + " (replay)"
+	} else {
+		res.Workload = *wl
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fail("closing trace: %v", err)
+		}
+	}
+	if prober != nil && prober.Err() != nil {
+		fail("writing probes: %v", prober.Err())
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		werr := sys.Obs.Registry().WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail("writing metrics: %v", werr)
+		}
 	}
 
 	fmt.Printf("workload            %s\n", res.Workload)
@@ -112,6 +203,8 @@ func main() {
 	fmt.Printf("PCM writes          %d (WPKI %.3f)\n", res.Writes, res.MeasWPKI)
 	fmt.Printf("avg cell changes    %.1f per line write\n", res.AvgCellChanges)
 	fmt.Printf("avg read latency    %.0f cycles\n", res.AvgReadLatency)
+	fmt.Printf("write latency       p50 %.0f / p95 %.0f / p99 %.0f cycles\n",
+		res.WriteLatP50, res.WriteLatP95, res.WriteLatP99)
 	fmt.Printf("write throughput    %.1f line writes / Mcycle\n", res.WriteThroughput)
 	fmt.Printf("write-burst time    %.1f%%\n", res.BurstFraction*100)
 	fmt.Printf("GCP max/avg tokens  %.1f / %.2f\n", res.MaxGCPTokens, res.AvgGCPTokens)
@@ -126,30 +219,31 @@ func main() {
 	}
 }
 
-// replayTraces loads <dir>/<workload>.coreN.trace for every core and runs
-// the system from the stored streams.
-func replayTraces(cfg sim.Config, dir, wl string) (system.Result, error) {
+// buildSystem assembles the machine, either from a live workload generator
+// or from stored per-core trace files.
+func buildSystem(cfg sim.Config, traceDir, wl string) (*system.System, error) {
+	if traceDir == "" {
+		w, err := workload.ByName(wl, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		return system.Build(cfg, w)
+	}
 	sources := make([]trace.Source, cfg.Cores)
 	classes := make([]workload.ValueClass, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		path := filepath.Join(dir, fmt.Sprintf("%s.core%d.trace", wl, i))
+		path := filepath.Join(traceDir, fmt.Sprintf("%s.core%d.trace", wl, i))
 		f, err := os.Open(path)
 		if err != nil {
-			return system.Result{}, err
+			return nil, err
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			return system.Result{}, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		sources[i] = r
 		classes[i], _ = workload.ParseValueClass(r.Header().Value)
 	}
-	sys, err := system.BuildFromSources(cfg, sources, classes)
-	if err != nil {
-		return system.Result{}, err
-	}
-	res := sys.Run()
-	res.Workload = wl + " (replay)"
-	return res, nil
+	return system.BuildFromSources(cfg, sources, classes)
 }

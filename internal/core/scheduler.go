@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fpb/internal/obs"
 	"fpb/internal/pcm"
 	"fpb/internal/power"
 	"fpb/internal/sim"
@@ -63,19 +64,32 @@ type Scheduler struct {
 	cfg     *sim.Config
 	planner *Planner
 	mgr     *power.Manager
+	hub     *obs.Hub
 
-	// Telemetry.
-	started      uint64
-	completed    uint64
-	mrWrites     uint64
-	multiRound   uint64
-	waitStalls   uint64
-	admitFailure uint64
+	// Telemetry, registered in the hub's metrics registry.
+	started      *obs.Counter
+	completed    *obs.Counter
+	mrWrites     *obs.Counter
+	multiRound   *obs.Counter
+	waitStalls   *obs.Counter
+	admitFailure *obs.Counter
 }
 
-// NewScheduler wires a scheduler over the power manager.
-func NewScheduler(cfg *sim.Config, mgr *power.Manager) *Scheduler {
-	return &Scheduler{cfg: cfg, planner: NewPlanner(cfg), mgr: mgr}
+// NewScheduler wires a scheduler over the power manager and registers its
+// metrics into hub (nil hub: detached metrics, no tracing).
+func NewScheduler(cfg *sim.Config, mgr *power.Manager, hub *obs.Hub) *Scheduler {
+	return &Scheduler{
+		cfg:          cfg,
+		planner:      NewPlanner(cfg),
+		mgr:          mgr,
+		hub:          hub,
+		started:      hub.Counter("core.scheduler.started"),
+		completed:    hub.Counter("core.scheduler.completed"),
+		mrWrites:     hub.Counter("core.scheduler.multireset_splits"),
+		multiRound:   hub.Counter("core.scheduler.multiround_writes"),
+		waitStalls:   hub.Counter("core.scheduler.wait_stalls"),
+		admitFailure: hub.Counter("core.scheduler.admit_failures"),
+	}
 }
 
 // Manager exposes the underlying power manager (for telemetry readers).
@@ -95,10 +109,10 @@ func (s *Scheduler) TryStart(prof *pcm.WriteProfile) (*Ticket, bool) {
 		}
 		plan := s.planner.PlanMR(prof, m)
 		if g, ok := s.mgr.TryAcquire(plan.Phases[0].Demand); ok {
-			s.mrWrites++
+			s.mrWrites.Inc()
 			return s.admit(prof, plan, g), true
 		}
-		s.admitFailure++
+		s.admitFailure.Inc()
 		return nil, false
 	}
 	plan := s.planner.Plan(prof)
@@ -109,19 +123,24 @@ func (s *Scheduler) TryStart(prof *pcm.WriteProfile) (*Ticket, bool) {
 		for m := 2; m <= s.cfg.MultiResetSplit && m <= pcm.MaxMultiResetSplit; m++ {
 			mrPlan := s.planner.PlanMR(prof, m)
 			if g, ok := s.mgr.TryAcquire(mrPlan.Phases[0].Demand); ok {
-				s.mrWrites++
+				s.mrWrites.Inc()
 				return s.admit(prof, mrPlan, g), true
 			}
 		}
 	}
-	s.admitFailure++
+	s.admitFailure.Inc()
 	return nil, false
 }
 
 func (s *Scheduler) admit(prof *pcm.WriteProfile, plan *WritePlan, g *power.Grant) *Ticket {
-	s.started++
+	s.started.Inc()
 	if plan.Rounds > 1 {
-		s.multiRound++
+		s.multiRound.Inc()
+	}
+	if s.hub.Tracing() {
+		// V carries the Multi-RESET split factor (0/1: unsplit).
+		s.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "core", Name: "write.admit",
+			ID: -1, V: float64(plan.MRSplit)})
 	}
 	return &Ticket{
 		Profile: prof,
@@ -145,7 +164,7 @@ func (s *Scheduler) Advance(t *Ticket) AdvanceResult {
 	if !ok {
 		t.grant = nil
 		t.waiting = true
-		s.waitStalls++
+		s.waitStalls.Inc()
 		return AdvanceWait
 	}
 	t.grant = g
@@ -210,11 +229,12 @@ func (s *Scheduler) finish(t *Ticket) {
 	s.mgr.Release(t.grant)
 	t.grant = nil
 	s.mgr.RecordWriteGCPUsage(t.gcpUsed)
-	s.completed++
+	s.completed.Inc()
 }
 
 // Stats reports scheduler telemetry: admitted writes, completions,
 // Multi-RESET admissions, multi-round writes, and boundary stalls.
 func (s *Scheduler) Stats() (started, completed, mr, multiRound, stalls, admitFail uint64) {
-	return s.started, s.completed, s.mrWrites, s.multiRound, s.waitStalls, s.admitFailure
+	return s.started.Value(), s.completed.Value(), s.mrWrites.Value(),
+		s.multiRound.Value(), s.waitStalls.Value(), s.admitFailure.Value()
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func newSched(cfg *sim.Config) *Scheduler {
-	return NewScheduler(cfg, power.NewManager(cfg))
+	return NewScheduler(cfg, power.NewManager(cfg, nil), nil)
 }
 
 func runToCompletion(t *testing.T, s *Scheduler, tk *Ticket) {

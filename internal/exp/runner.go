@@ -8,10 +8,15 @@ package exp
 
 import (
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
+	"fpb/internal/obs"
 	"fpb/internal/sim"
 	"fpb/internal/stats"
 	"fpb/internal/system"
@@ -31,6 +36,10 @@ type Options struct {
 	InstrPerCore uint64
 	// Workloads restricts the workload set (default: all 13).
 	Workloads []string
+	// MetricsDir, when non-empty, receives one metrics-registry JSON dump
+	// per simulated (config, workload) pair. Filenames are deterministic:
+	// <workload>_<scheme>_<fnv64a of the config>.json.
+	MetricsDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -66,9 +75,16 @@ type key struct {
 	wl  string
 }
 
-// NewRunner builds a runner for the options.
+// NewRunner builds a runner for the options, creating MetricsDir if set.
 func NewRunner(opt Options) *Runner {
-	return &Runner{opt: opt.withDefaults(), cache: make(map[key]system.Result)}
+	opt = opt.withDefaults()
+	if opt.MetricsDir != "" {
+		if err := os.MkdirAll(opt.MetricsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "exp: metrics dir: %v\n", err)
+			opt.MetricsDir = ""
+		}
+	}
+	return &Runner{opt: opt, cache: make(map[key]system.Result)}
 }
 
 // Opt returns the effective options.
@@ -94,10 +110,36 @@ func (r *Runner) Run(cfg sim.Config, wl string) system.Result {
 	if err != nil {
 		panic(fmt.Sprintf("exp: running %s: %v", wl, err)) // configs are code, not input
 	}
+	r.dumpMetrics(cfg, wl, res)
 	r.mu.Lock()
 	r.cache[k] = res
 	r.mu.Unlock()
 	return res
+}
+
+// dumpMetrics writes one metrics-registry snapshot per fresh simulation to
+// Options.MetricsDir. The filename hashes the full config so every distinct
+// variant of a workload gets its own stable file across runs. Dump failures
+// don't abort the experiment; they are reported once per file on stderr.
+func (r *Runner) dumpMetrics(cfg sim.Config, wl string, res system.Result) {
+	if r.opt.MetricsDir == "" || len(res.Metrics) == 0 {
+		return
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", cfg)
+	scheme := strings.NewReplacer("+", "-", "/", "-", " ", "-").Replace(res.Scheme)
+	path := filepath.Join(r.opt.MetricsDir,
+		fmt.Sprintf("%s_%s_%016x.json", wl, scheme, h.Sum64()))
+	f, err := os.Create(path)
+	if err == nil {
+		err = obs.EncodeSeries(f, res.Metrics)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exp: metrics dump %s: %v\n", path, err)
+	}
 }
 
 // Prewarm runs all (config, workload) combinations in parallel, bounded by

@@ -3,6 +3,7 @@ package mem
 import (
 	"fpb/internal/core"
 	"fpb/internal/mapping"
+	"fpb/internal/obs"
 	"fpb/internal/pcm"
 	"fpb/internal/power"
 	"fpb/internal/sim"
@@ -28,6 +29,15 @@ const wcQueueWatermark = 0.8
 // maxFillQueue bounds the background fill-read queue; under saturation the
 // oldest fills are dropped (they model bandwidth, not data).
 const maxFillQueue = 64
+
+// latBucketCycles is the write-latency histogram resolution: latencies are
+// recorded in 64-cycle buckets, so percentile reports are exact to 16 ns at
+// the default 4 GHz clock.
+const latBucketCycles = 64
+
+// latMaxBuckets caps the histogram range (64 * 16384 ≈ 1M cycles); longer
+// latencies land in the overflow bucket and report as the range maximum.
+const latMaxBuckets = 16384
 
 // BaselineFunc synthesizes the pre-existing content of a never-written
 // line (memory has history before the measurement window; see DESIGN.md).
@@ -86,35 +96,44 @@ type Controller struct {
 	scheduling bool
 	rerun      bool
 
-	// Telemetry.
-	demandReads  uint64
-	fillsIssued  uint64
-	fillsDropped uint64
-	writesDone   uint64
+	// Telemetry. Counters live in the hub's metrics registry; the
+	// summaries/histogram stay local and are exported as gauges.
+	hub          *obs.Hub
+	demandReads  *obs.Counter
+	fillsIssued  *obs.Counter
+	fillsDropped *obs.Counter
+	writesDone   *obs.Counter
+	wcCancels    *obs.Counter
+	wpPauses     *obs.Counter
 	readLatency  stats.Summary
 	writeLatency stats.Summary
+	writeLatHist *stats.Histogram // bucketed by latBucketCycles for percentiles
 	cellChanges  stats.Summary
 	writeEnergy  stats.Summary // pJ per line write
 	lineWrites   map[uint64]uint64
 	maxLineWr    uint64
-	wcCancels    uint64
-	wpPauses     uint64
 }
 
-// NewController wires the full memory subsystem for the configuration.
+// NewController wires the full memory subsystem for the configuration,
+// including the observability hub every component registers its metrics
+// into (tracing stays off until a tracer is attached via Hub().SetTracer).
 func NewController(eng *sim.Engine, cfg *sim.Config, baseline BaselineFunc) *Controller {
 	rng := sim.NewRNG(cfg.Seed).Derive(0xB71D6E)
+	hub := obs.NewHub()
+	hub.SetClock(func() uint64 { return uint64(eng.Now()) })
 	c := &Controller{
-		eng:        eng,
-		cfg:        cfg,
-		sched:      core.NewScheduler(cfg, power.NewManager(cfg)),
-		store:      pcm.NewStore(cfg.L3LineB),
-		builder:    pcm.NewBuilder(cfg, rng.Derive(1)),
-		amap:       pcm.NewAddressMap(cfg.L3LineB, cfg.Banks),
-		mapFn:      mapping.New(cfg.CellMapping, cfg.CellsPerLine(), cfg.Chips),
-		baseline:   baseline,
-		banks:      make([]bankState, cfg.Banks),
-		lineWrites: make(map[uint64]uint64),
+		eng:          eng,
+		cfg:          cfg,
+		hub:          hub,
+		sched:        core.NewScheduler(cfg, power.NewManager(cfg, hub), hub),
+		store:        pcm.NewStore(cfg.L3LineB),
+		builder:      pcm.NewBuilder(cfg, rng.Derive(1)),
+		amap:         pcm.NewAddressMap(cfg.L3LineB, cfg.Banks),
+		mapFn:        mapping.New(cfg.CellMapping, cfg.CellsPerLine(), cfg.Chips),
+		baseline:     baseline,
+		banks:        make([]bankState, cfg.Banks),
+		lineWrites:   make(map[uint64]uint64),
+		writeLatHist: stats.NewHistogram(latMaxBuckets),
 	}
 	if cfg.PWL {
 		c.rot = mapping.NewRotator(cfg.CellsPerLine(), cfg.PWLShiftWrites, rng.Derive(2))
@@ -122,6 +141,35 @@ func NewController(eng *sim.Engine, cfg *sim.Config, baseline BaselineFunc) *Con
 	if baseline == nil {
 		c.baseline = func(uint64, int) []byte { return nil } // all zeros
 	}
+	c.demandReads = hub.Counter("mem.reads.demand")
+	c.fillsIssued = hub.Counter("mem.reads.fill")
+	c.fillsDropped = hub.Counter("mem.reads.fill_dropped")
+	c.writesDone = hub.Counter("mem.writes.done")
+	c.wcCancels = hub.Counter("mem.wc.cancels")
+	c.wpPauses = hub.Counter("mem.wp.pauses")
+	hub.Gauge("mem.rdq.depth", func() float64 { return float64(len(c.rdq)) })
+	hub.Gauge("mem.fillq.depth", func() float64 { return float64(len(c.fillq)) })
+	hub.Gauge("mem.wrq.depth", func() float64 { return float64(len(c.wrq)) })
+	hub.Gauge("mem.banks.busy", func() float64 {
+		n := 0
+		for i := range c.banks {
+			if c.banks[i].busy || c.banks[i].readBusy {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	hub.Gauge("mem.burst.active", func() float64 {
+		if c.burst {
+			return 1
+		}
+		return 0
+	})
+	hub.Gauge("mem.read.latency_mean", c.readLatency.Mean)
+	hub.Gauge("mem.write.latency_mean", c.writeLatency.Mean)
+	hub.Gauge("mem.write.latency_p50", func() float64 { p, _, _ := c.WriteLatencyPercentiles(); return p })
+	hub.Gauge("mem.write.latency_p95", func() float64 { _, p, _ := c.WriteLatencyPercentiles(); return p })
+	hub.Gauge("mem.write.latency_p99", func() float64 { _, _, p := c.WriteLatencyPercentiles(); return p })
 	return c
 }
 
@@ -130,6 +178,11 @@ func (c *Controller) Store() *pcm.Store { return c.store }
 
 // Scheduler exposes the FPB scheduler (telemetry).
 func (c *Controller) Scheduler() *core.Scheduler { return c.sched }
+
+// Hub exposes the observability hub shared by the whole memory subsystem
+// (controller, scheduler, power manager). Attach a tracer or read the
+// metrics registry through it.
+func (c *Controller) Hub() *obs.Hub { return c.hub }
 
 // --- Enqueue API (called by cores) ---
 
@@ -150,7 +203,7 @@ func (c *Controller) TryEnqueueRead(addr uint64, done func()) bool {
 // under saturation).
 func (c *Controller) EnqueueFillRead(addr uint64) {
 	if len(c.fillq) >= maxFillQueue {
-		c.fillsDropped++
+		c.fillsDropped.Inc()
 		return
 	}
 	c.fillq = append(c.fillq, &ReadRequest{
@@ -194,6 +247,10 @@ func (c *Controller) enterBurst() {
 	if !c.burst {
 		c.burst = true
 		c.burstStart = c.eng.Now()
+		if c.hub.Tracing() {
+			c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "burst.enter",
+				ID: -1, V: float64(len(c.wrq))})
+		}
 	}
 }
 
@@ -201,6 +258,10 @@ func (c *Controller) maybeExitBurst() {
 	if c.burst && len(c.wrq) == 0 {
 		c.burst = false
 		c.burstCycles += c.eng.Now() - c.burstStart
+		if c.hub.Tracing() {
+			c.hub.Emit(obs.Event{Kind: obs.Span, Cat: "mem", Name: "burst",
+				ID: -1, Dur: uint64(c.eng.Now() - c.burstStart)})
+		}
 	}
 }
 
@@ -265,12 +326,21 @@ func (c *Controller) retryStalledWrites() {
 		if c.sched.Resume(op.ticket) {
 			op.paused = false
 			op.resuming = false
+			c.emitResume(op)
 			c.schedulePhaseEnd(op)
 		} else {
 			keepR = append(keepR, op)
 		}
 	}
 	c.resumeOps = keepR
+}
+
+// emitResume traces a paused write restarting.
+func (c *Controller) emitResume(op *writeOp) {
+	if c.hub.Tracing() {
+		c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.resume",
+			ID: op.bank, Addr: op.req.Addr})
+	}
 }
 
 // resumeOrphanedPauses restarts paused writes no read is going to use: a
@@ -421,9 +491,9 @@ func (c *Controller) startRead(bank int, req *ReadRequest, duringPause bool) {
 		b.busy = true
 	}
 	if req.Demand {
-		c.demandReads++
+		c.demandReads.Inc()
 	} else {
-		c.fillsIssued++
+		c.fillsIssued.Inc()
 	}
 	arrayDone := c.cfg.MCToBank + c.cfg.ReadCycles()
 	c.eng.After(arrayDone, func() {
@@ -438,6 +508,10 @@ func (c *Controller) startRead(bank int, req *ReadRequest, duringPause bool) {
 		c.eng.At(doneAt, func() {
 			if req.Demand {
 				c.readLatency.Add(float64(c.eng.Now() - req.enqueued))
+				if c.hub.Tracing() {
+					c.hub.Emit(obs.Event{Kind: obs.Span, Cat: "mem", Name: "read",
+						ID: bank, Addr: req.Addr, Dur: uint64(c.eng.Now() - req.enqueued)})
+				}
 			}
 			if req.Done != nil {
 				req.Done()
@@ -475,6 +549,12 @@ func (c *Controller) startWrite(bank int, req *WriteRequest, prof *pcm.WriteProf
 	b.busy = true
 	op := &writeOp{req: req, prof: prof, ticket: ticket, bank: bank, started: c.eng.Now()}
 	b.wr = op
+	if c.hub.Tracing() {
+		c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.issue",
+			ID: bank, Addr: req.Addr, V: float64(prof.Changed)})
+		c.hub.Emit(obs.Event{Kind: obs.Meter, Cat: "mem", Name: "wrq.depth",
+			ID: -1, V: float64(len(c.wrq))})
+	}
 	if c.rot != nil {
 		c.rot.RecordWrite(req.Addr)
 	}
@@ -514,6 +594,10 @@ func (c *Controller) phaseEnd(op *writeOp) {
 	case core.AdvanceDone:
 		c.completeWrite(op)
 	case core.AdvanceNext:
+		if c.hub.Tracing() {
+			c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.iter",
+				ID: op.bank, Addr: op.req.Addr, V: float64(op.ticket.PhaseIndex())})
+		}
 		// Honor a pause request only outside bursts: during a burst
 		// reads are blocked regardless, so pausing would just strand
 		// the bank.
@@ -521,7 +605,11 @@ func (c *Controller) phaseEnd(op *writeOp) {
 			op.pauseReq = false
 			op.paused = true
 			c.sched.Pause(op.ticket)
-			c.wpPauses++
+			c.wpPauses.Inc()
+			if c.hub.Tracing() {
+				c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.pause",
+					ID: op.bank, Addr: op.req.Addr})
+			}
 			c.schedule() // lets issueReads use the paused bank
 			return
 		}
@@ -531,6 +619,10 @@ func (c *Controller) phaseEnd(op *writeOp) {
 		// admit queued or stalled writes right now.
 		c.schedule()
 	case core.AdvanceWait:
+		if c.hub.Tracing() {
+			c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.stall",
+				ID: op.bank, Addr: op.req.Addr})
+		}
 		c.waitingOps = append(c.waitingOps, op)
 		c.schedule()
 	}
@@ -544,6 +636,7 @@ func (c *Controller) tryResume(op *writeOp) {
 	}
 	if c.sched.Resume(op.ticket) {
 		op.paused = false
+		c.emitResume(op)
 		c.schedulePhaseEnd(op)
 		return
 	}
@@ -585,7 +678,11 @@ func (c *Controller) cancelWrite(op *writeOp) {
 	b.busy = false
 	b.wr = nil
 	op.req.cancelled++
-	c.wcCancels++
+	c.wcCancels.Inc()
+	if c.hub.Tracing() {
+		c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.cancel",
+			ID: op.bank, Addr: op.req.Addr, V: float64(op.req.cancelled)})
+	}
 	// Re-issue from scratch: the profile is rebuilt on the next attempt.
 	c.wrq = append([]*WriteRequest{op.req}, c.wrq...)
 }
@@ -593,8 +690,19 @@ func (c *Controller) cancelWrite(op *writeOp) {
 // completeWrite commits the new content and frees the bank.
 func (c *Controller) completeWrite(op *writeOp) {
 	c.store.Put(op.req.Addr, op.req.Data)
-	c.writesDone++
-	c.writeLatency.Add(float64(c.eng.Now() - op.req.enqueued))
+	c.writesDone.Inc()
+	lat := c.eng.Now() - op.req.enqueued
+	c.writeLatency.Add(float64(lat))
+	c.writeLatHist.Add(int(lat / latBucketCycles))
+	if c.hub.Tracing() {
+		c.hub.Emit(obs.Event{Kind: obs.Span, Cat: "mem", Name: "write",
+			ID: op.bank, Addr: op.req.Addr, V: float64(op.prof.Changed),
+			Dur: uint64(c.eng.Now() - op.started)})
+		if op.prof.Truncated > 0 {
+			c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.truncate",
+				ID: op.bank, Addr: op.req.Addr, V: float64(op.prof.Truncated)})
+		}
+	}
 	c.cellChanges.Add(float64(op.prof.Changed))
 	c.writeEnergy.Add(op.prof.WriteEnergyPJ(c.cfg))
 	c.lineWrites[op.req.Addr]++
@@ -612,7 +720,8 @@ func (c *Controller) completeWrite(op *writeOp) {
 // Counts reports completed demand reads, issued fill reads, dropped fills,
 // completed writes, WC cancellations and WP pauses.
 func (c *Controller) Counts() (reads, fills, dropped, writes, cancels, pauses uint64) {
-	return c.demandReads, c.fillsIssued, c.fillsDropped, c.writesDone, c.wcCancels, c.wpPauses
+	return c.demandReads.Value(), c.fillsIssued.Value(), c.fillsDropped.Value(),
+		c.writesDone.Value(), c.wcCancels.Value(), c.wpPauses.Value()
 }
 
 // ReadLatency returns the demand-read latency summary (cycles).
@@ -620,6 +729,15 @@ func (c *Controller) ReadLatency() *stats.Summary { return &c.readLatency }
 
 // WriteLatency returns the write enqueue-to-completion latency summary.
 func (c *Controller) WriteLatency() *stats.Summary { return &c.writeLatency }
+
+// WriteLatencyPercentiles reports the P50/P95/P99 write enqueue-to-
+// completion latency in cycles, quantized to latBucketCycles.
+func (c *Controller) WriteLatencyPercentiles() (p50, p95, p99 float64) {
+	h := c.writeLatHist
+	return float64(h.P50() * latBucketCycles),
+		float64(h.P95() * latBucketCycles),
+		float64(h.P99() * latBucketCycles)
+}
 
 // CellChanges returns the per-write changed-cell summary (Figure 2).
 func (c *Controller) CellChanges() *stats.Summary { return &c.cellChanges }

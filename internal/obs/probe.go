@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// Prober writes periodic snapshots of every registered series as CSV: one
+// header row ("cycle,<name>,...") followed by one row per sample. The
+// column set is frozen at the first sample, so all component registration
+// must happen before the run starts (it does: components register at
+// construction).
+//
+// The prober is schedule-agnostic: the caller (internal/system) invokes
+// Sample at its chosen cycle interval from the event loop. Rows are
+// written unbuffered — sampling is orders of magnitude rarer than events,
+// and an unbuffered stream means tests and crashed runs still see every
+// completed row.
+type Prober struct {
+	reg   *Registry
+	w     io.Writer
+	names []string
+	rows  uint64
+	err   error
+}
+
+// NewProber builds a prober over the registry writing CSV to w.
+func NewProber(reg *Registry, w io.Writer) *Prober {
+	return &Prober{reg: reg, w: w}
+}
+
+// Rows reports how many data rows have been written.
+func (p *Prober) Rows() uint64 { return p.rows }
+
+// Err returns the first write error, if any.
+func (p *Prober) Err() error { return p.err }
+
+// Sample appends one row at the given cycle (writing the header first if
+// this is the first sample).
+func (p *Prober) Sample(cycle uint64) {
+	if p == nil || p.reg == nil {
+		return
+	}
+	if p.names == nil {
+		p.names = p.reg.Names()
+		buf := make([]byte, 0, 16*len(p.names))
+		buf = append(buf, "cycle"...)
+		for _, n := range p.names {
+			buf = append(buf, ',')
+			buf = append(buf, n...)
+		}
+		buf = append(buf, '\n')
+		p.write(buf)
+	}
+	buf := make([]byte, 0, 12*len(p.names))
+	buf = strconv.AppendUint(buf, cycle, 10)
+	for _, n := range p.names {
+		v, _ := p.reg.Value(n)
+		buf = append(buf, ',')
+		if v != v { // NaN has no CSV representation; leave the cell empty
+			continue
+		}
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	buf = append(buf, '\n')
+	p.write(buf)
+	p.rows++
+}
+
+func (p *Prober) write(buf []byte) {
+	if _, err := p.w.Write(buf); err != nil && p.err == nil {
+		p.err = err
+	}
+}

@@ -1,0 +1,191 @@
+// Package obs is the simulator-wide observability layer: a hierarchical
+// metrics registry (counters and gauges components register into by name),
+// an event tracer streaming component transitions as JSONL and Chrome
+// trace_event JSON, and time-series probes sampling every gauge at a fixed
+// cycle interval into CSV.
+//
+// The package is zero-dependency (stdlib only) and engine-agnostic: it never
+// imports internal/sim. Timestamps come from a clock callback the owning
+// component installs on the Hub, and probe scheduling is driven by the
+// caller (internal/system ties it to the event loop).
+//
+// Everything is nil-safe: a component holding a nil *Hub pays only a
+// pointer check per call, so tests and benchmarks that never attach an
+// observer run at full speed.
+//
+// Naming convention: dot-separated hierarchy, lowercase,
+// <subsystem>.<component>.<metric> — e.g. "power.gcp.tokens_in_use",
+// "mem.wrq.depth", "core.scheduler.multireset_splits". Per-instance series
+// insert the index after the component: "power.chip.3.tokens_in_use".
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Kind classifies a registered series.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically non-decreasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous sampled value.
+	KindGauge
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; counters returned by a nil Hub are detached (they count,
+// but appear in no registry).
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// metric is one registered series.
+type metric struct {
+	kind Kind
+	read func() float64
+}
+
+// Registry maps hierarchical names to live metric sources. Registration
+// stores a closure; reads always reflect the component's current state, so
+// a snapshot at any cycle is consistent without any double bookkeeping.
+type Registry struct {
+	metrics  map[string]metric
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics:  make(map[string]metric),
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Counter registers (or retrieves) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.metrics[name] = metric{kind: KindCounter, read: func() float64 { return float64(c.v) }}
+	return c
+}
+
+// Gauge registers the named gauge backed by read. Re-registering a name
+// replaces its source (components rebuilt between runs simply re-register).
+func (r *Registry) Gauge(name string, read func() float64) {
+	r.metrics[name] = metric{kind: KindGauge, read: read}
+}
+
+// Len reports the number of registered series.
+func (r *Registry) Len() int { return len(r.metrics) }
+
+// Names returns every registered series name in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value reads one series by name.
+func (r *Registry) Value(name string) (float64, bool) {
+	m, ok := r.metrics[name]
+	if !ok {
+		return 0, false
+	}
+	return m.read(), true
+}
+
+// Sample is one point of a snapshot.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value float64
+}
+
+// Snapshot reads every series, sorted by name.
+func (r *Registry) Snapshot() []Sample {
+	out := make([]Sample, 0, len(r.metrics))
+	for _, n := range r.Names() {
+		m := r.metrics[n]
+		out = append(out, Sample{Name: n, Kind: m.kind, Value: m.read()})
+	}
+	return out
+}
+
+// Values reads every series into a plain map (the form system.Result
+// carries across the experiment harness).
+func (r *Registry) Values() map[string]float64 {
+	out := make(map[string]float64, len(r.metrics))
+	for n, m := range r.metrics {
+		out[n] = m.read()
+	}
+	return out
+}
+
+// WriteJSON dumps the registry as one flat JSON object, keys sorted, in a
+// byte-deterministic encoding.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return EncodeSeries(w, r.Values())
+}
+
+// EncodeSeries writes a name->value map as a sorted, deterministic JSON
+// object. Shared by the registry dump and the experiment harness.
+func EncodeSeries(w io.Writer, series map[string]float64) error {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 32*len(names)+4)
+	buf = append(buf, '{', '\n')
+	for i, n := range names {
+		buf = append(buf, ' ', ' ')
+		buf = strconv.AppendQuote(buf, n)
+		buf = append(buf, ':', ' ')
+		buf = appendJSONFloat(buf, series[n])
+		if i < len(names)-1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, '}', '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendJSONFloat formats v as a JSON number; NaN/Inf (not representable in
+// JSON) become null.
+func appendJSONFloat(buf []byte, v float64) []byte {
+	if v != v || v > 1.797e308 || v < -1.797e308 {
+		return append(buf, "null"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONLSink encodes events one JSON object per line. The encoding is
+// hand-rolled so two identical simulations produce byte-identical streams
+// (no map ordering, no reflection, fixed float formatting).
+type JSONLSink struct {
+	w *bufio.Writer
+	c io.Closer
+}
+
+// NewJSONL builds a line-delimited JSON sink over w. If w is an io.Closer
+// it is closed by Close.
+func NewJSONL(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write encodes one event.
+func (s *JSONLSink) Write(e Event) error {
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"cycle":`...)
+	buf = strconv.AppendUint(buf, e.Cycle, 10)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, `","cat":"`...)
+	buf = append(buf, e.Cat...)
+	buf = append(buf, `","name":"`...)
+	buf = append(buf, e.Name...)
+	buf = append(buf, `","id":`...)
+	buf = strconv.AppendInt(buf, int64(e.ID), 10)
+	buf = append(buf, `,"addr":`...)
+	buf = strconv.AppendUint(buf, e.Addr, 10)
+	buf = append(buf, `,"v":`...)
+	buf = appendJSONFloat(buf, e.V)
+	buf = append(buf, `,"dur":`...)
+	buf = strconv.AppendUint(buf, e.Dur, 10)
+	buf = append(buf, '}', '\n')
+	_, err := s.w.Write(buf)
+	return err
+}
+
+// Close flushes and closes the underlying writer.
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ChromeSink encodes events in the Chrome trace_event JSON array format
+// for chrome://tracing / Perfetto. Spans become complete ("X") events with
+// the bank/chip index as the track (tid); instants become thread-scoped
+// "i" events; meters become counter ("C") tracks.
+type ChromeSink struct {
+	w           *bufio.Writer
+	c           io.Closer
+	cyclesPerUs float64
+	wrote       bool
+}
+
+// NewChrome builds a Chrome trace_event sink over w. cyclesPerUs converts
+// simulation cycles to trace microseconds (4000 for the default 4 GHz
+// clock); values <= 0 default to 4000.
+func NewChrome(w io.Writer, cyclesPerUs float64) *ChromeSink {
+	if cyclesPerUs <= 0 {
+		cyclesPerUs = 4000
+	}
+	s := &ChromeSink{w: bufio.NewWriter(w), cyclesPerUs: cyclesPerUs}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	s.w.WriteString("[\n")
+	return s
+}
+
+func (s *ChromeSink) appendTs(buf []byte, cycle uint64) []byte {
+	return strconv.AppendFloat(buf, float64(cycle)/s.cyclesPerUs, 'f', 3, 64)
+}
+
+// Write encodes one event.
+func (s *ChromeSink) Write(e Event) error {
+	buf := make([]byte, 0, 160)
+	if s.wrote {
+		buf = append(buf, ',', '\n')
+	}
+	s.wrote = true
+	tid := e.ID
+	if tid < 0 {
+		tid = 0
+	}
+	buf = append(buf, `{"name":"`...)
+	buf = append(buf, e.Name...)
+	buf = append(buf, `","cat":"`...)
+	buf = append(buf, e.Cat...)
+	buf = append(buf, `","pid":0,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(tid), 10)
+	switch e.Kind {
+	case Span:
+		// ts is the span start; Cycle records the end.
+		buf = append(buf, `,"ph":"X","ts":`...)
+		buf = s.appendTs(buf, e.Cycle-e.Dur)
+		buf = append(buf, `,"dur":`...)
+		buf = s.appendTs(buf, e.Dur)
+	case Meter:
+		buf = append(buf, `,"ph":"C","ts":`...)
+		buf = s.appendTs(buf, e.Cycle)
+	default:
+		buf = append(buf, `,"ph":"i","s":"t","ts":`...)
+		buf = s.appendTs(buf, e.Cycle)
+	}
+	buf = append(buf, `,"args":{"addr":`...)
+	buf = strconv.AppendUint(buf, e.Addr, 10)
+	buf = append(buf, `,"value":`...)
+	buf = appendJSONFloat(buf, e.V)
+	buf = append(buf, `}}`...)
+	_, err := s.w.Write(buf)
+	return err
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer.
+func (s *ChromeSink) Close() error {
+	s.w.WriteString("\n]\n")
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,117 @@
+package obs
+
+
+// EventKind distinguishes the three trace record shapes.
+type EventKind uint8
+
+const (
+	// Instant is a point-in-time marker (write cancel, token borrow).
+	Instant EventKind = iota
+	// Span is a completed interval; Cycle is the end, Dur the length.
+	Span
+	// Meter is a sampled scalar (queue depth, pool occupancy) rendered as
+	// a counter track by chrome://tracing.
+	Meter
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Instant:
+		return "instant"
+	case Span:
+		return "span"
+	case Meter:
+		return "meter"
+	}
+	return "?"
+}
+
+// Event is one trace record. Fields are fixed scalars (no maps) so
+// encoding is allocation-light and byte-deterministic.
+type Event struct {
+	Cycle uint64    // simulation cycle (end cycle for spans)
+	Kind  EventKind // record shape
+	Cat   string    // component category: "mem", "power", "core", "engine"
+	Name  string    // event name, e.g. "write.issue"
+	ID    int       // bank/chip/core index; -1 when not applicable
+	Addr  uint64    // line address; 0 when not applicable
+	V     float64   // primary value (tokens, cells, depth)
+	Dur   uint64    // span length in cycles; 0 for instants/meters
+}
+
+// Sink consumes encoded trace events.
+type Sink interface {
+	Write(e Event) error
+	Close() error
+}
+
+// Tracer fans events out to its sinks, applying a category filter and
+// 1-in-N sampling. It is single-goroutine, like the simulation that feeds
+// it.
+//
+// The "engine" category (per-dispatch events) is opt-in: it fires once per
+// simulation event and would dwarf every other stream, so the default
+// filter covers every category except it. Call FilterCats to choose
+// explicitly.
+type Tracer struct {
+	sinks []Sink
+	cats  map[string]bool // nil = all except "engine"
+	every uint64          // keep 1 of every N events (0/1 = all)
+	n     uint64
+	err   error // first sink error, reported by Close
+}
+
+// NewTracer builds a tracer over the sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// FilterCats restricts emission to exactly the given categories.
+func (t *Tracer) FilterCats(cats ...string) {
+	t.cats = make(map[string]bool, len(cats))
+	for _, c := range cats {
+		t.cats[c] = true
+	}
+}
+
+// Sample keeps only every Nth surviving event (0 or 1 keeps all). Sampling
+// applies uniformly after category filtering; spans are emitted once, at
+// completion, so sampling never splits a record.
+func (t *Tracer) Sample(every uint64) { t.every = every }
+
+// Enabled reports whether events of the category pass the filter.
+func (t *Tracer) Enabled(cat string) bool {
+	if t == nil {
+		return false
+	}
+	if t.cats == nil {
+		return cat != "engine"
+	}
+	return t.cats[cat]
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if !t.Enabled(e.Cat) {
+		return
+	}
+	t.n++
+	if t.every > 1 && t.n%t.every != 0 {
+		return
+	}
+	for _, s := range t.sinks {
+		if err := s.Write(e); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+}
+
+// Close closes every sink and returns the first error seen anywhere.
+func (t *Tracer) Close() error {
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

@@ -9,7 +9,7 @@ import (
 func BenchmarkTryAcquireReleaseLCP(b *testing.B) {
 	cfg := sim.DefaultConfig()
 	cfg.Scheme = sim.SchemeDIMMChip
-	m := NewManager(&cfg)
+	m := NewManager(&cfg, nil)
 	d := uniformDemand(200, cfg.Chips)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -24,7 +24,7 @@ func BenchmarkTryAcquireReleaseLCP(b *testing.B) {
 func BenchmarkTryAcquireReleaseGCP(b *testing.B) {
 	cfg := sim.DefaultConfig()
 	cfg.Scheme = sim.SchemeGCP
-	m := NewManager(&cfg)
+	m := NewManager(&cfg, nil)
 	// Saturate chip 0 so every acquire engages the GCP borrow path.
 	busy := make([]float64, cfg.Chips)
 	busy[0] = cfg.LCPTokens()

@@ -15,7 +15,7 @@ func TestManagerRandomWorkloadInvariants(t *testing.T) {
 		for seed := uint64(1); seed <= 5; seed++ {
 			cfg := sim.DefaultConfig()
 			cfg.Scheme = scheme
-			m := NewManager(&cfg)
+			m := NewManager(&cfg, nil)
 			rng := sim.NewRNG(seed)
 			var live []*Grant
 			for step := 0; step < 2000; step++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fpb/internal/obs"
 	"fpb/internal/sim"
 	"fpb/internal/stats"
 )
@@ -43,30 +44,35 @@ func (g *Grant) GCPTokens() float64 { return g.gcpOut }
 // its LCP or entirely by the GCP, never both.
 type Manager struct {
 	cfg *sim.Config
+	hub *obs.Hub
 
 	dimm     *Pool
 	chips    []*Pool
 	gcp      *Pool // capacity = max GCP output tokens
 	borrowed []float64
 
-	// Telemetry for Figures 13/14 and the energy-waste analysis.
+	// Telemetry for Figures 13/14 and the energy-waste analysis. The
+	// counters live in the hub's metrics registry (registered by
+	// NewManager); the float extrema/summaries stay local and are
+	// exported as gauges.
 	gcpMaxOut     float64
 	gcpMaxGrant   float64       // largest single-grant GCP output
 	gcpMaxSegment float64       // largest single chip segment the GCP powered
 	gcpPerWrite   stats.Summary // GCP output tokens requested per line write
 	gcpWasteIn    float64       // input power burned by GCP inefficiency (token·phases)
-	deniedDIMM    uint64
-	deniedChip    uint64
-	deniedGCP     uint64
-	grantsIssued  uint64
+	deniedDIMM    *obs.Counter
+	deniedChip    *obs.Counter
+	deniedGCP     *obs.Counter
+	grantsIssued  *obs.Counter
 	scratchOrder  []int
 	scratchShort  []int
 	scratchNeeded []float64
 }
 
-// NewManager builds pools from the configuration.
-func NewManager(cfg *sim.Config) *Manager {
-	m := &Manager{cfg: cfg}
+// NewManager builds pools from the configuration and registers the
+// manager's metrics into hub (nil hub: metrics stay detached, no tracing).
+func NewManager(cfg *sim.Config, hub *obs.Hub) *Manager {
+	m := &Manager{cfg: cfg, hub: hub}
 	m.dimm = NewPool(cfg.DIMMTokens)
 	m.chips = make([]*Pool, cfg.Chips)
 	for i := range m.chips {
@@ -78,6 +84,22 @@ func NewManager(cfg *sim.Config) *Manager {
 	}
 	m.gcp = NewPool(gcpCap)
 	m.borrowed = make([]float64, cfg.Chips)
+
+	m.deniedDIMM = hub.Counter("power.denied.dimm")
+	m.deniedChip = hub.Counter("power.denied.chip")
+	m.deniedGCP = hub.Counter("power.denied.gcp")
+	m.grantsIssued = hub.Counter("power.grants")
+	hub.Gauge("power.dimm.tokens_in_use", m.dimm.InUse)
+	hub.Gauge("power.dimm.tokens_free", m.dimm.Available)
+	hub.Gauge("power.gcp.tokens_in_use", m.gcp.InUse)
+	hub.Gauge("power.gcp.tokens_free", m.gcp.Available)
+	hub.Gauge("power.gcp.max_out", func() float64 { return m.gcpMaxOut })
+	hub.Gauge("power.gcp.waste_in", func() float64 { return m.gcpWasteIn })
+	hub.Gauge("power.gcp.avg_per_write", m.gcpPerWrite.Mean)
+	for i := range m.chips {
+		p := m.chips[i]
+		hub.Gauge(fmt.Sprintf("power.chip.%d.tokens_in_use", i), p.InUse)
+	}
 	return m
 }
 
@@ -112,7 +134,7 @@ func (m *Manager) TryAcquire(d Demand) (*Grant, bool) {
 // space; commit applies the plan.
 func (m *Manager) plan(d Demand) (bool, *Grant) {
 	if m.cfg.EnforcesDIMMBudget() && !m.dimm.CanAcquire(d.DIMM) {
-		m.deniedDIMM++
+		m.deniedDIMM.Inc()
 		return false, nil
 	}
 	g := &Grant{dimm: d.DIMM}
@@ -148,9 +170,9 @@ func (m *Manager) plan(d Demand) (bool, *Grant) {
 	// Pass 2: the GCP powers every short segment in full (segment rule).
 	if !m.cfg.UsesGCP() || !m.gcp.CanAcquire(gcpOutNeeded) {
 		if m.cfg.UsesGCP() && m.gcp.CanAcquire(0) {
-			m.deniedGCP++
+			m.deniedGCP.Inc()
 		} else {
-			m.deniedChip++
+			m.deniedChip.Inc()
 		}
 		return false, nil
 	}
@@ -186,7 +208,7 @@ func (m *Manager) plan(d Demand) (bool, *Grant) {
 		remaining -= take
 	}
 	if remaining > epsilon {
-		m.deniedGCP++
+		m.deniedGCP.Inc()
 		return false, nil
 	}
 	g.gcpOut = gcpOutNeeded
@@ -224,8 +246,12 @@ func (m *Manager) commit(d Demand, g *Grant) {
 		// Input power funneled through the GCP that does not reach
 		// cells: borrowed/E_LCP raw input vs gcpOut useful output.
 		m.gcpWasteIn += g.gcpOut*m.cfg.LCPEff/m.cfg.GCPEff - g.gcpOut
+		if m.hub.Tracing() {
+			m.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "power", Name: "gcp.borrow", ID: -1, V: g.gcpOut})
+			m.hub.Emit(obs.Event{Kind: obs.Meter, Cat: "power", Name: "gcp.tokens_in_use", ID: -1, V: m.gcp.InUse()})
+		}
 	}
-	m.grantsIssued++
+	m.grantsIssued.Inc()
 }
 
 // Release returns every token held by the grant.
@@ -248,6 +274,10 @@ func (m *Manager) Release(g *Grant) {
 	}
 	if g.gcpOut > 0 {
 		m.gcp.Release(g.gcpOut)
+		if m.hub.Tracing() {
+			m.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "power", Name: "gcp.return", ID: -1, V: g.gcpOut})
+			m.hub.Emit(obs.Event{Kind: obs.Meter, Cat: "power", Name: "gcp.tokens_in_use", ID: -1, V: m.gcp.InUse()})
+		}
 	}
 	g.dimm, g.gcpOut = 0, 0
 	g.lcp, g.borrowed = nil, nil
@@ -294,11 +324,11 @@ func (m *Manager) WastedInputPower() float64 { return m.gcpWasteIn }
 // Denials reports how many acquisition attempts failed at the DIMM, chip,
 // and GCP levels respectively.
 func (m *Manager) Denials() (dimm, chip, gcp uint64) {
-	return m.deniedDIMM, m.deniedChip, m.deniedGCP
+	return m.deniedDIMM.Value(), m.deniedChip.Value(), m.deniedGCP.Value()
 }
 
 // Grants reports how many acquisitions succeeded.
-func (m *Manager) Grants() uint64 { return m.grantsIssued }
+func (m *Manager) Grants() uint64 { return m.grantsIssued.Value() }
 
 // CheckInvariants panics if pool accounting has drifted; tests call this
 // after workloads complete, when all tokens must be free.

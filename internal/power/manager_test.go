@@ -13,7 +13,7 @@ func managerFor(scheme sim.Scheme, mutate func(*sim.Config)) (*Manager, *sim.Con
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return NewManager(&cfg), &cfg
+	return NewManager(&cfg, nil), &cfg
 }
 
 func uniformDemand(total float64, chips int) Demand {

@@ -72,7 +72,12 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	ran    uint64
+	hook   DispatchHook
 }
+
+// DispatchHook observes every event dispatch: now is the cycle the clock
+// just advanced to, ran the total events executed including this one.
+type DispatchHook func(now Cycle, ran uint64)
 
 // NewEngine returns an empty engine positioned at cycle 0.
 func NewEngine() *Engine {
@@ -116,6 +121,11 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.cancel = true
 }
 
+// SetDispatchHook installs (or, with nil, removes) a callback observing
+// every event dispatch — the tracer's tap into the event loop. The only
+// cost without a hook is one nil check per event.
+func (e *Engine) SetDispatchHook(h DispatchHook) { e.hook = h }
+
 // Step runs the next pending event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
@@ -126,6 +136,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.when
 		e.ran++
+		if e.hook != nil {
+			e.hook(e.now, e.ran)
+		}
 		ev.fn()
 		return true
 	}

@@ -10,18 +10,26 @@ import (
 	"sort"
 )
 
-// Summary accumulates a stream of float64 observations.
+// Summary accumulates a stream of float64 observations. NaN and ±Inf
+// observations are rejected (counted in Rejected): a single poisoned value
+// would otherwise silently propagate through sum/ssq into every derived
+// metric of a run.
 type Summary struct {
-	n    uint64
-	sum  float64
-	ssq  float64
-	min  float64
-	max  float64
-	last float64
+	n        uint64
+	rejected uint64
+	sum      float64
+	ssq      float64
+	min      float64
+	max      float64
+	last     float64
 }
 
-// Add records one observation.
+// Add records one observation; non-finite values are dropped.
 func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		s.rejected++
+		return
+	}
 	if s.n == 0 {
 		s.min, s.max = v, v
 	} else {
@@ -40,6 +48,9 @@ func (s *Summary) Add(v float64) {
 
 // N returns the number of observations.
 func (s *Summary) N() uint64 { return s.n }
+
+// Rejected returns how many non-finite observations were dropped.
+func (s *Summary) Rejected() uint64 { return s.rejected }
 
 // Sum returns the total of all observations.
 func (s *Summary) Sum() float64 { return s.sum }
@@ -174,6 +185,15 @@ func (h *Histogram) Percentile(p float64) int {
 	}
 	return len(h.buckets)
 }
+
+// P50 returns the median recorded value.
+func (h *Histogram) P50() int { return h.Percentile(50) }
+
+// P95 returns the 95th-percentile recorded value.
+func (h *Histogram) P95() int { return h.Percentile(95) }
+
+// P99 returns the 99th-percentile recorded value.
+func (h *Histogram) P99() int { return h.Percentile(99) }
 
 // Ratio returns a/b, or 0 when b is 0. Convenient for normalized metrics.
 func Ratio(a, b float64) float64 {

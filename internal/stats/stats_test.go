@@ -201,3 +201,57 @@ func TestSortedKeys(t *testing.T) {
 		t.Errorf("SortedKeys = %v", keys)
 	}
 }
+
+func TestSummaryRejectsNonFinite(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(-1))
+	s.Add(5)
+	if s.N() != 2 {
+		t.Errorf("N = %d, want 2 (non-finite values must be dropped)", s.N())
+	}
+	if s.Rejected() != 3 {
+		t.Errorf("Rejected = %d, want 3", s.Rejected())
+	}
+	if s.Mean() != 4 {
+		t.Errorf("Mean = %g, want 4", s.Mean())
+	}
+	if s.Min() != 3 || s.Max() != 5 {
+		t.Errorf("Min/Max = %g/%g, want 3/5", s.Min(), s.Max())
+	}
+	if math.IsNaN(s.StdDev()) || math.IsInf(s.StdDev(), 0) {
+		t.Errorf("StdDev = %g, want finite", s.StdDev())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if got := h.P50(); got != 50 {
+		t.Errorf("P50 = %d, want 50", got)
+	}
+	if got := h.P95(); got != 95 {
+		t.Errorf("P95 = %d, want 95", got)
+	}
+	if got := h.P99(); got != 99 {
+		t.Errorf("P99 = %d, want 99", got)
+	}
+
+	// Overflow observations count as max bucket value + 1.
+	ho := NewHistogram(4)
+	for i := 0; i < 10; i++ {
+		ho.Add(100)
+	}
+	if got := ho.P99(); got != 5 {
+		t.Errorf("all-overflow P99 = %d, want 5", got)
+	}
+
+	var empty Histogram
+	if empty.P50() != 0 || empty.P95() != 0 || empty.P99() != 0 {
+		t.Error("empty histogram percentiles must be 0")
+	}
+}

@@ -1,0 +1,156 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fpb/internal/obs"
+	"fpb/internal/sim"
+	"fpb/internal/workload"
+)
+
+// obsConfig is a short run with enough write traffic to exercise every
+// trace category.
+func obsConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sim.SchemeGCPIPMMR
+	cfg.InstrPerCore = 10_000
+	cfg.L3SizeMB = 8
+	return cfg
+}
+
+// runTraced builds the obsConfig system, attaches the given sinks, and runs
+// it, returning the result.
+func runTraced(t *testing.T, sinks ...obs.Sink) Result {
+	t.Helper()
+	cfg := obsConfig()
+	w, err := workload.ByName("mcf_m", cfg.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.NewTracer(sinks...)
+		s.EnableTrace(tracer)
+	}
+	res := s.Run()
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res
+}
+
+// TestTraceDeterminism: two runs with identical configs (same seed) must
+// produce byte-identical JSONL event streams.
+func TestTraceDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	runTraced(t, obs.NewJSONL(&a))
+	runTraced(t, obs.NewJSONL(&b))
+	if a.Len() == 0 {
+		t.Fatal("no trace output")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed traces differ: %d vs %d bytes", a.Len(), b.Len())
+	}
+}
+
+// TestJSONLTraceContent: every line is valid JSON and the key event names
+// from all three instrumented subsystems appear.
+func TestJSONLTraceContent(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, obs.NewJSONL(&buf))
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev struct {
+			Cycle uint64 `json:"cycle"`
+			Cat   string `json:"cat"`
+			Name  string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		seen[ev.Name] = true
+	}
+	for _, name := range []string{"write.issue", "write", "write.admit", "gcp.borrow", "gcp.return"} {
+		if !seen[name] {
+			t.Errorf("trace missing %q events (saw %v)", name, seen)
+		}
+	}
+}
+
+// TestChromeTraceValid: the Chrome sink's output is a well-formed
+// trace_event JSON array with plausible phases.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, obs.NewChrome(&buf, 4000))
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty chrome trace")
+	}
+	phases := map[string]bool{}
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		phases[ph] = true
+		if ph != "X" && ph != "i" && ph != "C" {
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event without numeric ts: %v", ev)
+		}
+	}
+	if !phases["X"] || !phases["i"] {
+		t.Errorf("expected both span and instant events, got phases %v", phases)
+	}
+}
+
+// TestProbesAndMetrics: probing produces a CSV with one column per gauge,
+// and the final registry snapshot holds at least 20 named series.
+func TestProbesAndMetrics(t *testing.T) {
+	cfg := obsConfig()
+	w, err := workload.ByName("mcf_m", cfg.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	prober := s.EnableProbes(5_000, &csv)
+	res := s.Run()
+	if prober.Err() != nil {
+		t.Fatal(prober.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected header + several samples, got %d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "cycle" {
+		t.Errorf("first CSV column = %q, want cycle", header[0])
+	}
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(header) {
+			t.Fatalf("row width %d != header width %d: %q", got, len(header), row)
+		}
+	}
+	if len(res.Metrics) < 20 {
+		t.Errorf("metrics snapshot has %d series, want >= 20", len(res.Metrics))
+	}
+	for _, name := range []string{"sim.cycle", "power.gcp.tokens_in_use", "mem.wrq.depth", "core.scheduler.completed"} {
+		if _, ok := res.Metrics[name]; !ok {
+			t.Errorf("metrics snapshot missing %q", name)
+		}
+	}
+}

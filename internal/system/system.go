@@ -8,10 +8,12 @@ package system
 
 import (
 	"fmt"
+	"io"
 
 	"fpb/internal/cache"
 	"fpb/internal/cpu"
 	"fpb/internal/mem"
+	"fpb/internal/obs"
 	"fpb/internal/sim"
 	"fpb/internal/trace"
 	"fpb/internal/workload"
@@ -24,8 +26,15 @@ type System struct {
 	MC    *mem.Controller
 	Cores []*cpu.Core
 
+	// Obs is the machine's observability hub: every component's metrics
+	// registry, plus the attach point for tracing (EnableTrace) and
+	// time-series probes (EnableProbes).
+	Obs *obs.Hub
+
 	gens     []*workload.Generator
 	finished int
+	prober   *obs.Prober
+	probeEv  *sim.Event
 }
 
 // Result carries the metrics of one run.
@@ -58,11 +67,22 @@ type Result struct {
 	MRAdmissions  uint64
 	MultiRound    uint64
 
+	// WriteLatP50/P95/P99 are write enqueue-to-completion latency
+	// percentiles in cycles (quantized to the controller's histogram
+	// bucket width).
+	WriteLatP50 float64
+	WriteLatP95 float64
+	WriteLatP99 float64
+
 	// AvgWriteEnergyPJ is the mean programming energy per line write.
 	AvgWriteEnergyPJ float64
 	// DistinctLines / MaxLineWrites summarize write wear (endurance).
 	DistinctLines int
 	MaxLineWrites uint64
+
+	// Metrics is the end-of-run snapshot of every series in the system's
+	// metrics registry, keyed by hierarchical name.
+	Metrics map[string]float64
 }
 
 // Build wires a system for the configuration and workload. The workload
@@ -77,7 +97,8 @@ func Build(cfg sim.Config, wl workload.Workload) (*System, error) {
 	}
 	eng := sim.NewEngine()
 	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
-	s := &System{Cfg: cfg, Eng: eng, MC: mc}
+	s := &System{Cfg: cfg, Eng: eng, MC: mc, Obs: mc.Hub()}
+	s.registerSystemMetrics()
 
 	root := sim.NewRNG(cfg.Seed)
 	for i, prof := range wl.Cores {
@@ -148,6 +169,58 @@ func prefill(h *cache.Hierarchy, gen *workload.Generator, prof workload.CoreProf
 	h.ResetStats()
 }
 
+// registerSystemMetrics adds machine-level series to the hub registry.
+func (s *System) registerSystemMetrics() {
+	s.Obs.Gauge("sim.cycle", func() float64 { return float64(s.Eng.Now()) })
+	s.Obs.Gauge("sim.events_run", func() float64 { return float64(s.Eng.EventsRun()) })
+	s.Obs.Gauge("sys.cores.finished", func() float64 { return float64(s.finished) })
+}
+
+// EnableTrace attaches a tracer to the machine's hub. If the tracer admits
+// the "engine" category, the event-loop dispatch hook is installed too
+// (one sampled record per simulation event — opt-in, it is voluminous).
+// Call before Run; the caller owns Close.
+func (s *System) EnableTrace(t *obs.Tracer) {
+	s.Obs.SetTracer(t)
+	if t != nil && t.Enabled("engine") {
+		s.Eng.SetDispatchHook(func(now sim.Cycle, ran uint64) {
+			t.Emit(obs.Event{Cycle: uint64(now), Kind: obs.Instant, Cat: "engine",
+				Name: "dispatch", ID: -1, V: float64(ran)})
+		})
+	}
+}
+
+// EnableProbes samples every registered series to w as CSV every interval
+// cycles, starting at the first interval boundary after Run begins. Call
+// before Run. The probe event keeps the heap occupied, so it watches event
+// progress: if nothing but the probe itself ran for three intervals it
+// stops rescheduling, preserving Run's drained-heap deadlock detection.
+func (s *System) EnableProbes(interval sim.Cycle, w io.Writer) *obs.Prober {
+	if interval == 0 || w == nil {
+		return nil
+	}
+	s.prober = obs.NewProber(s.Obs.Registry(), w)
+	var lastRan uint64
+	idle := 0
+	var tick func()
+	tick = func() {
+		s.probeEv = nil
+		ran := s.Eng.EventsRun()
+		if ran-lastRan <= 1 {
+			idle++
+		} else {
+			idle = 0
+		}
+		lastRan = ran
+		s.prober.Sample(uint64(s.Eng.Now()))
+		if idle < 3 && s.finished < len(s.Cores) {
+			s.probeEv = s.Eng.After(interval, tick)
+		}
+	}
+	s.probeEv = s.Eng.After(interval, tick)
+	return s.prober
+}
+
 // Run executes until every core retires its budget (or the event heap
 // drains, which indicates a deadlock and panics). It returns the collected
 // metrics.
@@ -161,6 +234,10 @@ func (s *System) Run() Result {
 			panic(fmt.Sprintf("system: deadlock — %d/%d cores finished, no events pending",
 				s.finished, len(s.Cores)))
 		}
+	}
+	if s.probeEv != nil {
+		s.Eng.Cancel(s.probeEv)
+		s.probeEv = nil
 	}
 	return s.collect()
 }
@@ -196,6 +273,7 @@ func (s *System) collect() Result {
 	}
 	r.AvgCellChanges = s.MC.CellChanges().Mean()
 	r.AvgReadLatency = s.MC.ReadLatency().Mean()
+	r.WriteLatP50, r.WriteLatP95, r.WriteLatP99 = s.MC.WriteLatencyPercentiles()
 	r.AvgWriteEnergyPJ = s.MC.WriteEnergy().Mean()
 	r.DistinctLines, r.MaxLineWrites = s.MC.Endurance()
 	mgr := s.MC.Scheduler().Manager()
@@ -207,6 +285,7 @@ func (s *System) collect() Result {
 	_, _, mr, rounds, _, _ := s.MC.Scheduler().Stats()
 	r.MRAdmissions = mr
 	r.MultiRound = rounds
+	r.Metrics = s.Obs.Registry().Values()
 	return r
 }
 
@@ -227,7 +306,8 @@ func BuildFromSources(cfg sim.Config, sources []trace.Source, classes []workload
 	}
 	eng := sim.NewEngine()
 	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
-	s := &System{Cfg: cfg, Eng: eng, MC: mc}
+	s := &System{Cfg: cfg, Eng: eng, MC: mc, Obs: mc.Hub()}
+	s.registerSystemMetrics()
 	root := sim.NewRNG(cfg.Seed)
 	for i, src := range sources {
 		hier := cache.NewHierarchy(&s.Cfg)
