@@ -2,12 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build fmt vet test race check bench clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Fails if any file needs gofmt (mirrors scripts/check.sh).
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -18,8 +25,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: vet, build, and the race-enabled test suite.
-check: vet build race
+# The full pre-merge gate: gofmt, vet, build, and the race-enabled tests.
+check: fmt vet build race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

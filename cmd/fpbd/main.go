@@ -1,0 +1,95 @@
+// Command fpbd is the FPB simulation daemon: it serves simulation jobs over
+// an HTTP JSON API (internal/serve), running them on a bounded worker pool
+// behind a FIFO queue and memoizing every result in a content-addressed disk
+// store, so repeated and concurrent identical requests — e.g. a figure
+// regeneration fleet of `fpbexp -remote` runs — simulate each distinct
+// (config, workload) pair exactly once, ever.
+//
+// Usage:
+//
+//	fpbd -addr :8080 -store fpbd-store -workers 8 -queue 64
+//
+// API (see README "Serving" for a curl session):
+//
+//	GET  /healthz           liveness + queue snapshot
+//	GET  /metrics           JSON dump of the serving metrics registry
+//	POST /v1/jobs           run a job; blocks until the result is ready
+//	POST /v1/jobs?async=1   202 + job id immediately; poll GET /v1/jobs/{id}
+//
+// SIGINT/SIGTERM drain gracefully: new jobs get 503, queued and in-flight
+// jobs finish (their waiting clients get responses), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpb/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		store   = flag.String("store", "fpbd-store", "persistent result store directory (empty = no persistence)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue depth; a full queue answers 429")
+		drain   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain in-flight jobs at shutdown")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		StoreDir:   *store,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpbd:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "fpbd: listening on %s (store %q)\n", *addr, *store)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "fpbd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "fpbd: draining...")
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain() // reject new jobs, finish queued + in-flight ones
+		close(drained)
+	}()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	select {
+	case <-drained:
+	case <-shutdownCtx.Done():
+		fmt.Fprintln(os.Stderr, "fpbd: drain timeout; abandoning queued jobs")
+	}
+	// Now release connections whose handlers have responded.
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "fpbd: shutdown:", err)
+	}
+
+	if v, ok := srv.Registry().Value("serve.jobs.done"); ok {
+		hits, _ := srv.Registry().Value("serve.cache.hits")
+		fmt.Fprintf(os.Stderr, "fpbd: exit — %d jobs simulated, %d cache hits\n", int(v), int(hits))
+	}
+}

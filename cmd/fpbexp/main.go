@@ -9,6 +9,9 @@
 // Each experiment prints the same rows/series the corresponding figure or
 // table of the paper reports (speedups over the same normalization
 // baseline). -instr scales simulation length; larger values reduce noise.
+// -workers bounds simulation parallelism; -remote offloads every simulation
+// to a shared fpbd daemon, so repeated figure regenerations become cache
+// hits against its persistent result store (see cmd/fpbd).
 //
 // Profiling and observability: -pprof serves net/http/pprof, -cpuprofile /
 // -memprofile write whole-run profiles, and -metricsdir dumps one metrics
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"fpb/internal/exp"
+	"fpb/internal/serve/client"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
 		out       = flag.String("out", "", "also append results to this file")
 		bars      = flag.Bool("bars", false, "also render each result column as an ASCII bar chart")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS); with -remote, in-flight requests")
+		remote    = flag.String("remote", "", "offload simulations to an fpbd daemon at this address (host:port)")
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -89,9 +95,12 @@ func main() {
 		return
 	}
 
-	opt := exp.Options{InstrPerCore: *instr, MetricsDir: *metricsDir}
+	opt := exp.Options{InstrPerCore: *instr, MetricsDir: *metricsDir, Workers: *workers}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	if *remote != "" {
+		opt.Backend = client.New(*remote).Run
 	}
 	runner := exp.NewRunner(opt)
 

@@ -6,6 +6,11 @@
 //	fpbsim -workload mcf_m -scheme fpb -instr 200000
 //	fpbsim -workload lbm_m -scheme dimm+chip -mapping vim -gcpeff 0.5
 //	fpbsim -workload mcf_m -scheme fpb -trace out.trace -metrics out.json -probe-interval 10000
+//	fpbsim -workload mcf_m -scheme fpb -remote localhost:8080
+//
+// With -remote the run is offloaded to a shared fpbd daemon (see cmd/fpbd
+// and README "Serving"): identical requests are answered from its persistent
+// result cache without re-simulating. Trace/probe flags require a local run.
 //
 // Schemes: ideal, dimm-only, dimm+chip, gcp, gcp+ipm, fpb (= gcp+ipm+mr),
 // ipm, ipm+mr. Mappings: ne, vim, bim.
@@ -22,48 +27,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"fpb/internal/obs"
+	"fpb/internal/serve"
+	"fpb/internal/serve/client"
 	"fpb/internal/sim"
 	"fpb/internal/system"
 	"fpb/internal/trace"
 	"fpb/internal/workload"
 )
-
-var schemes = map[string]sim.Scheme{
-	"ideal":      sim.SchemeIdeal,
-	"dimm-only":  sim.SchemeDIMMOnly,
-	"dimm+chip":  sim.SchemeDIMMChip,
-	"gcp":        sim.SchemeGCP,
-	"gcp+ipm":    sim.SchemeGCPIPM,
-	"gcp+ipm+mr": sim.SchemeGCPIPMMR,
-	"fpb":        sim.SchemeGCPIPMMR,
-	"ipm":        sim.SchemeIPM,
-	"ipm+mr":     sim.SchemeIPMMR,
-}
-
-var mappings = map[string]sim.Mapping{
-	"ne":  sim.MapNaive,
-	"vim": sim.MapVIM,
-	"bim": sim.MapBIM,
-}
-
-// validNames renders a map's keys as a sorted comma-separated list for
-// error messages.
-func validNames[V any](m map[string]V) string {
-	names := make([]string, 0, len(m))
-	for k := range m {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
-}
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "fpbsim: "+format+"\n", args...)
@@ -86,6 +64,7 @@ func main() {
 		wt       = flag.Bool("wt", false, "enable write truncation")
 		seed     = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
 		traceDir = flag.String("tracedir", "", "replay per-core trace files <dir>/<workload>.coreN.trace instead of generating")
+		remote   = flag.String("remote", "", "offload the run to an fpbd daemon at this address (host:port)")
 
 		traceOut      = flag.String("trace", "", "write Chrome trace_event JSON to this file")
 		traceJSONL    = flag.String("trace-jsonl", "", "write the raw JSONL event stream to this file")
@@ -97,13 +76,13 @@ func main() {
 	)
 	flag.Parse()
 
-	s, ok := schemes[strings.ToLower(*scheme)]
-	if !ok {
-		fail("unknown scheme %q (valid: %s)", *scheme, validNames(schemes))
+	s, err := sim.ParseScheme(*scheme)
+	if err != nil {
+		fail("%v", err)
 	}
-	m, ok := mappings[strings.ToLower(*mapName)]
-	if !ok {
-		fail("unknown mapping %q (valid: %s)", *mapName, validNames(mappings))
+	m, err := sim.ParseMapping(*mapName)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -123,6 +102,29 @@ func main() {
 	}
 	if err := cfg.Validate(); err != nil {
 		fail("%v", err)
+	}
+
+	if *remote != "" {
+		if *traceDir != "" || *traceOut != "" || *traceJSONL != "" || *probeInterval > 0 {
+			fail("-tracedir/-trace/-trace-jsonl/-probe-interval run locally and cannot combine with -remote")
+		}
+		cli := client.New(*remote)
+		st, err := cli.Do(context.Background(), serve.JobSpec{Workload: *wl, Config: &cfg})
+		if err != nil {
+			fail("remote run: %v", err)
+		}
+		if st.State != serve.StateDone || st.Result == nil {
+			fail("remote run: job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		res := *st.Result
+		if *metricsOut != "" {
+			if err := writeMetricsFile(*metricsOut, res.Metrics); err != nil {
+				fail("writing metrics: %v", err)
+			}
+		}
+		fmt.Printf("remote              %s (job %s, cached %v)\n", *remote, st.ID, st.Cached)
+		printResult(res, cfg, m, *gcpEff, *wc, *wp)
+		return
 	}
 
 	sys, err := buildSystem(cfg, *traceDir, *wl)
@@ -194,8 +196,14 @@ func main() {
 		}
 	}
 
+	printResult(res, cfg, m, *gcpEff, *wc, *wp)
+}
+
+// printResult renders one run's metrics; shared by the local and -remote
+// paths so offloaded runs read identically.
+func printResult(res system.Result, cfg sim.Config, m sim.Mapping, gcpEff float64, wc, wp bool) {
 	fmt.Printf("workload            %s\n", res.Workload)
-	fmt.Printf("scheme              %s (%v, GCP eff %.2f)\n", res.Scheme, m, *gcpEff)
+	fmt.Printf("scheme              %s (%v, GCP eff %.2f)\n", res.Scheme, m, gcpEff)
 	fmt.Printf("instructions        %d\n", res.Instrs)
 	fmt.Printf("cycles              %d\n", res.Cycles)
 	fmt.Printf("CPI                 %.3f\n", res.CPI)
@@ -214,9 +222,23 @@ func main() {
 		res.AvgWriteEnergyPJ, res.AvgWriteEnergyPJ/float64(cfg.L3LineB/64)/1000)
 	fmt.Printf("wear                %d distinct lines, hottest written %d times\n",
 		res.DistinctLines, res.MaxLineWrites)
-	if *wc || *wp {
+	if wc || wp {
 		fmt.Printf("WC cancels / WP pauses  %d / %d\n", res.WCCancels, res.WPPauses)
 	}
+}
+
+// writeMetricsFile dumps a remote result's metrics snapshot in the same
+// deterministic encoding the local path uses.
+func writeMetricsFile(path string, metrics map[string]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.EncodeSeries(f, metrics)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // buildSystem assembles the machine, either from a live workload generator

@@ -28,6 +28,12 @@ var Workloads = []string{
 	"mum_m", "tig_m", "qso_m", "cop_m", "mix_1", "mix_2", "mix_3",
 }
 
+// Backend resolves one (config, workload) simulation. The default (nil)
+// backend is in-process system.RunWorkload; serve/client.Client.Run plugs in
+// a shared fpbd daemon instead, turning figure regeneration into mostly
+// cache hits against its persistent store.
+type Backend func(cfg sim.Config, wl string) (system.Result, error)
+
 // Options scales an experiment run.
 type Options struct {
 	// InstrPerCore is the per-core instruction budget of every
@@ -40,6 +46,12 @@ type Options struct {
 	// per simulated (config, workload) pair. Filenames are deterministic:
 	// <workload>_<scheme>_<fnv64a of the config>.json.
 	MetricsDir string
+	// Workers bounds Prewarm's simulation parallelism (default:
+	// GOMAXPROCS). With a remote Backend it bounds in-flight requests
+	// instead, since the daemon runs the actual simulations.
+	Workers int
+	// Backend overrides how simulations run; nil means in-process.
+	Backend Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -63,16 +75,26 @@ type Experiment struct {
 }
 
 // Runner executes simulations with memoization; experiments share it so
-// common baselines (e.g. DIMM+chip) run once.
+// common baselines (e.g. DIMM+chip) run once. Memoization is
+// singleflight: concurrent Run calls for the same (config, workload) pair
+// share one simulation instead of duplicating it.
 type Runner struct {
 	opt   Options
 	mu    sync.Mutex
-	cache map[key]system.Result
+	cache map[key]*entry
+	sims  uint64 // simulations actually executed (not served from cache)
 }
 
 type key struct {
 	cfg sim.Config
 	wl  string
+}
+
+// entry is one memoized simulation; once makes concurrent first callers
+// collapse onto a single execution.
+type entry struct {
+	once sync.Once
+	res  system.Result
 }
 
 // NewRunner builds a runner for the options, creating MetricsDir if set.
@@ -84,7 +106,7 @@ func NewRunner(opt Options) *Runner {
 			opt.MetricsDir = ""
 		}
 	}
-	return &Runner{opt: opt, cache: make(map[key]system.Result)}
+	return &Runner{opt: opt, cache: make(map[key]*entry)}
 }
 
 // Opt returns the effective options.
@@ -97,24 +119,42 @@ func (r *Runner) BaseConfig() sim.Config {
 	return cfg
 }
 
-// Run simulates one (config, workload) pair, memoized.
+// Run simulates one (config, workload) pair, memoized. Concurrent calls
+// with an identical pair block on one shared simulation; every other pair
+// proceeds in parallel.
 func (r *Runner) Run(cfg sim.Config, wl string) system.Result {
 	k := key{cfg: cfg, wl: wl}
 	r.mu.Lock()
-	if res, ok := r.cache[k]; ok {
+	e, ok := r.cache[k]
+	if !ok {
+		e = &entry{}
+		r.cache[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		run := r.opt.Backend
+		if run == nil {
+			run = system.RunWorkload
+		}
+		res, err := run(cfg, wl)
+		if err != nil {
+			panic(fmt.Sprintf("exp: running %s: %v", wl, err)) // configs are code, not input
+		}
+		r.dumpMetrics(cfg, wl, res)
+		r.mu.Lock()
+		r.sims++
 		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-	res, err := system.RunWorkload(cfg, wl)
-	if err != nil {
-		panic(fmt.Sprintf("exp: running %s: %v", wl, err)) // configs are code, not input
-	}
-	r.dumpMetrics(cfg, wl, res)
+		e.res = res
+	})
+	return e.res
+}
+
+// Simulations reports how many simulations actually executed (cache misses);
+// tests use it to prove memoization coalesces duplicate work.
+func (r *Runner) Simulations() uint64 {
 	r.mu.Lock()
-	r.cache[k] = res
-	r.mu.Unlock()
-	return res
+	defer r.mu.Unlock()
+	return r.sims
 }
 
 // dumpMetrics writes one metrics-registry snapshot per fresh simulation to
@@ -143,9 +183,14 @@ func (r *Runner) dumpMetrics(cfg sim.Config, wl string, res system.Result) {
 }
 
 // Prewarm runs all (config, workload) combinations in parallel, bounded by
-// GOMAXPROCS, so subsequent Run calls hit the cache.
+// Options.Workers (GOMAXPROCS when unset), so subsequent Run calls hit the
+// cache.
 func (r *Runner) Prewarm(cfgs []sim.Config, wls []string) {
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := r.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for _, cfg := range cfgs {
 		for _, wl := range wls {

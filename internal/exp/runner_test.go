@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+// TestMemoizationCoalescesConcurrentRuns: N concurrent Run calls with an
+// identical (config, workload) pair must simulate exactly once and all
+// observe the same result.
+func TestMemoizationCoalescesConcurrentRuns(t *testing.T) {
+	var backendCalls atomic.Uint64
+	r := NewRunner(Options{
+		InstrPerCore: 1000,
+		Backend: func(cfg sim.Config, wl string) (system.Result, error) {
+			backendCalls.Add(1)
+			// Widen the window in which a racy implementation would
+			// start a duplicate simulation.
+			time.Sleep(20 * time.Millisecond)
+			return system.Result{Workload: wl, CPI: float64(cfg.Seed) + 3.5}, nil
+		},
+	})
+
+	const n = 16
+	cfg := r.BaseConfig()
+	results := make([]system.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(cfg, "mcf_m")
+		}(i)
+	}
+	wg.Wait()
+
+	if got := backendCalls.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical Run calls simulated %d times, want exactly 1", n, got)
+	}
+	if got := r.Simulations(); got != 1 {
+		t.Errorf("Runner.Simulations() = %d, want 1", got)
+	}
+	for i, res := range results {
+		if !reflect.DeepEqual(res, results[0]) {
+			t.Fatalf("result %d differs: %+v vs %+v", i, res, results[0])
+		}
+	}
+
+	// A different pair still simulates.
+	other := cfg
+	other.Seed++
+	r.Run(other, "mcf_m")
+	r.Run(cfg, "lbm_m")
+	if got := r.Simulations(); got != 3 {
+		t.Errorf("after two distinct runs Simulations() = %d, want 3", got)
+	}
+}
+
+// TestPrewarmHonorsWorkersOption: Options.Workers bounds Prewarm's
+// parallelism (the pre-option behavior was a hard-coded GOMAXPROCS).
+func TestPrewarmHonorsWorkersOption(t *testing.T) {
+	var cur, peak atomic.Int64
+	r := NewRunner(Options{
+		InstrPerCore: 1000,
+		Workers:      2,
+		Backend: func(cfg sim.Config, wl string) (system.Result, error) {
+			if c := cur.Add(1); c > peak.Load() {
+				peak.Store(c)
+			}
+			time.Sleep(10 * time.Millisecond)
+			cur.Add(-1)
+			return system.Result{Workload: wl}, nil
+		},
+	})
+	cfgs := make([]sim.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = r.BaseConfig()
+		cfgs[i].Seed = uint64(i + 1)
+	}
+	r.Prewarm(cfgs, []string{"mcf_m", "lbm_m"})
+	if r.Simulations() != 8 {
+		t.Errorf("Prewarm ran %d simulations, want 8", r.Simulations())
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("Prewarm peak parallelism %d exceeds Workers=2", p)
+	}
+}

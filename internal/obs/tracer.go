@@ -1,6 +1,5 @@
 package obs
 
-
 // EventKind distinguishes the three trace record shapes.
 type EventKind uint8
 

@@ -1,0 +1,159 @@
+// Package client is the Go client for the fpbd simulation service
+// (internal/serve). It submits jobs synchronously, transparently retrying
+// queue-full (429) pushback with the server-advertised Retry-After delay,
+// and adapts to exp.Backend so fpbexp can offload whole figure runs to a
+// shared daemon.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpb/internal/serve"
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+// Client talks to one fpbd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+	// RetryBudget bounds how long Do keeps retrying 429 pushback before
+	// giving up (default 2 minutes; the queue of a busy daemon drains at
+	// simulation granularity, so waits are long but bounded).
+	RetryBudget time.Duration
+}
+
+// New returns a client for addr ("host:port" or a full http:// URL).
+func New(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base:        strings.TrimRight(addr, "/"),
+		hc:          &http.Client{},
+		RetryBudget: 2 * time.Minute,
+	}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: health: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: health: %s", resp.Status)
+	}
+	return nil
+}
+
+// Do submits one job synchronously and returns its final status. 429
+// responses are retried after the advertised Retry-After until ctx or the
+// retry budget expires; other non-2xx statuses fail immediately.
+func (c *Client) Do(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return serve.JobStatus{}, fmt.Errorf("client: encoding spec: %w", err)
+	}
+	deadline := time.Now().Add(c.RetryBudget)
+	for {
+		st, retry, err := c.post(ctx, body)
+		if err == nil || !retry {
+			return st, err
+		}
+		if time.Now().After(deadline) {
+			return serve.JobStatus{}, fmt.Errorf("client: retry budget exhausted: %w", err)
+		}
+		select {
+		case <-time.After(retryDelay(retryAfterHeader(err))):
+		case <-ctx.Done():
+			return serve.JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// retryableError carries the Retry-After hint out of post.
+type retryableError struct {
+	after time.Duration
+	msg   string
+}
+
+func (e *retryableError) Error() string { return e.msg }
+
+func retryAfterHeader(err error) time.Duration {
+	if re, ok := err.(*retryableError); ok {
+		return re.after
+	}
+	return 0
+}
+
+func retryDelay(hint time.Duration) time.Duration {
+	if hint > 0 {
+		return hint
+	}
+	return 500 * time.Millisecond
+}
+
+func (c *Client) post(ctx context.Context, body []byte) (serve.JobStatus, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobStatus{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return serve.JobStatus{}, false, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return serve.JobStatus{}, false, fmt.Errorf("client: reading response: %w", err)
+	}
+	var st serve.JobStatus
+	if jerr := json.Unmarshal(raw, &st); jerr != nil && resp.StatusCode == http.StatusOK {
+		return serve.JobStatus{}, false, fmt.Errorf("client: decoding response: %w", jerr)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return st, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		after := time.Duration(0)
+		if sec, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+			after = time.Duration(sec) * time.Second
+		}
+		return serve.JobStatus{}, true, &retryableError{after: after,
+			msg: fmt.Sprintf("server busy (429): %s", st.Error)}
+	default:
+		msg := st.Error
+		if msg == "" {
+			msg = strings.TrimSpace(string(raw))
+		}
+		return serve.JobStatus{}, false, fmt.Errorf("client: %s: %s", resp.Status, msg)
+	}
+}
+
+// Run simulates one (config, workload) pair on the daemon. Its signature
+// matches exp.Backend, so `fpbexp -remote` plugs it straight into a Runner.
+func (c *Client) Run(cfg sim.Config, wl string) (system.Result, error) {
+	st, err := c.Do(context.Background(), serve.JobSpec{Workload: wl, Config: &cfg})
+	if err != nil {
+		return system.Result{}, err
+	}
+	if st.State != serve.StateDone || st.Result == nil {
+		return system.Result{}, fmt.Errorf("client: job %s: state %s: %s", st.ID, st.State, st.Error)
+	}
+	return *st.Result, nil
+}

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpb/internal/exp"
+	"fpb/internal/serve"
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+func startDaemon(t *testing.T, cfg serve.Config) (*serve.Server, *Client) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+	})
+	return s, New(ts.URL)
+}
+
+func fake(sims *atomic.Int64, delay time.Duration) serve.SimulateFunc {
+	return func(cfg sim.Config, wl string) (system.Result, error) {
+		sims.Add(1)
+		time.Sleep(delay)
+		return system.Result{Workload: wl, CPI: float64(cfg.Seed) + 1}, nil
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	var sims atomic.Int64
+	_, c := startDaemon(t, serve.Config{Workers: 2, Simulate: fake(&sims, 0)})
+
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 11
+	res, err := c.Run(cfg, "lbm_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "lbm_m" || res.CPI != 12 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestClientRetriesQueueFull(t *testing.T) {
+	var sims atomic.Int64
+	_, c := startDaemon(t, serve.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		RetryAfter: time.Millisecond, // rounds up to 1s header; client honors it
+		Simulate:   fake(&sims, 50*time.Millisecond),
+	})
+	c.RetryBudget = 30 * time.Second
+
+	// More concurrent distinct jobs than worker+queue slots: some submits
+	// must see 429 and retry until the queue drains.
+	const jobs = 6
+	errc := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		go func(seed uint64) {
+			cfg := sim.DefaultConfig()
+			cfg.Seed = seed
+			_, err := c.Run(cfg, "mcf_m")
+			errc <- err
+		}(uint64(i + 1))
+	}
+	for i := 0; i < jobs; i++ {
+		if err := <-errc; err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	if sims.Load() != jobs {
+		t.Errorf("simulations = %d, want %d", sims.Load(), jobs)
+	}
+}
+
+// TestRunnerOffloadsToDaemon wires the client into exp.Runner as its
+// Backend: a figure-style Prewarm against a shared daemon must simulate each
+// distinct pair exactly once and serve Runner reads from the remote results.
+func TestRunnerOffloadsToDaemon(t *testing.T) {
+	var sims atomic.Int64
+	_, c := startDaemon(t, serve.Config{Workers: 4, QueueDepth: 32, Simulate: fake(&sims, 0)})
+
+	r := exp.NewRunner(exp.Options{
+		InstrPerCore: 1000,
+		Workloads:    []string{"mcf_m", "lbm_m"},
+		Workers:      4,
+		Backend:      c.Run,
+	})
+	base := r.BaseConfig()
+	mod := base
+	mod.Seed = 99
+	r.Prewarm([]sim.Config{base, mod}, []string{"mcf_m", "lbm_m"})
+	// Every Run below must be a warm hit — no new daemon simulations.
+	for _, cfg := range []sim.Config{base, mod} {
+		for _, wl := range []string{"mcf_m", "lbm_m"} {
+			res := r.Run(cfg, wl)
+			if res.Workload != wl {
+				t.Errorf("remote result for %s: %+v", wl, res)
+			}
+		}
+	}
+	if sims.Load() != 4 {
+		t.Errorf("daemon ran %d simulations, want 4", sims.Load())
+	}
+	if r.Simulations() != 4 {
+		t.Errorf("runner recorded %d backend calls, want 4", r.Simulations())
+	}
+}

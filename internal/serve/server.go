@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"fpb/internal/obs"
+	"fpb/internal/sim"
+	"fpb/internal/stats"
+	"fpb/internal/system"
+)
+
+// SimulateFunc runs one simulation; the default is system.RunWorkload.
+// Tests inject counters, sleeps, and failures through it.
+type SimulateFunc func(sim.Config, string) (system.Result, error)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers bounds concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64). A full
+	// queue rejects new work with 429 + Retry-After instead of blocking.
+	QueueDepth int
+	// StoreDir roots the persistent result store; empty disables
+	// persistence (results then live only as long as the job records).
+	StoreDir string
+	// RetryAfter is advertised on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxJobRecords bounds completed job records kept for async polling
+	// (default 1024); the oldest finished records are evicted first.
+	MaxJobRecords int
+	// Simulate overrides the simulation function (default
+	// system.RunWorkload). Used by tests.
+	Simulate SimulateFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 1024
+	}
+	if c.Simulate == nil {
+		c.Simulate = system.RunWorkload
+	}
+	return c
+}
+
+// job is one accepted unit of work. Its fields past done are written by the
+// completing worker before done is closed and are read-only afterwards.
+type job struct {
+	id  string
+	key string
+	cfg sim.Config
+	wl  string
+
+	done chan struct{} // closed exactly once, on completion
+
+	// Guarded by Server.mu until done is closed.
+	state JobState
+	res   system.Result
+	err   error
+}
+
+// status snapshots a job into its wire form. Callers must hold Server.mu
+// unless the job's done channel is already closed.
+func (j *job) status() JobStatus {
+	st := JobStatus{ID: j.id, Key: j.key, State: j.state}
+	switch j.state {
+	case StateDone:
+		res := j.res
+		st.Result = &res
+	case StateFailed:
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Server implements the simulation service. Create with New, mount as an
+// http.Handler, stop with Drain.
+type Server struct {
+	cfg   Config
+	store *Store // nil when persistence is disabled
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	inflight map[string]*job // queued or running, by key — the dedupe table
+	jobs     map[string]*job // every known job, by id (async polling)
+	order    []string        // job ids in acceptance order, for eviction
+	nextID   uint64
+	busy     int // workers currently simulating
+
+	// Metrics (mutated only under mu; read by /metrics under mu).
+	cAccepted, cCoalesced, cRejected *obs.Counter
+	cDone, cFailed                   *obs.Counter
+	cHits, cMisses                   *obs.Counter
+	latency                          *stats.Histogram // job latency, ms
+}
+
+// New builds a server, opens its store, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		inflight: make(map[string]*job),
+		jobs:     make(map[string]*job),
+		latency:  stats.NewHistogram(60_000),
+	}
+	if cfg.StoreDir != "" {
+		st, err := OpenStore(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	s.registerMetrics()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// registerMetrics populates the server's obs registry. Gauge closures read
+// mu-guarded fields WITHOUT locking: every reader (the /metrics and /healthz
+// handlers) snapshots the registry while already holding mu.
+func (s *Server) registerMetrics() {
+	s.cAccepted = s.reg.Counter("serve.jobs.accepted")
+	s.cCoalesced = s.reg.Counter("serve.jobs.coalesced")
+	s.cRejected = s.reg.Counter("serve.jobs.rejected")
+	s.cDone = s.reg.Counter("serve.jobs.done")
+	s.cFailed = s.reg.Counter("serve.jobs.failed")
+	s.cHits = s.reg.Counter("serve.cache.hits")
+	s.cMisses = s.reg.Counter("serve.cache.misses")
+	s.reg.Gauge("serve.queue.depth", func() float64 { return float64(len(s.queue)) })
+	s.reg.Gauge("serve.queue.capacity", func() float64 { return float64(s.cfg.QueueDepth) })
+	s.reg.Gauge("serve.workers.busy", func() float64 { return float64(s.busy) })
+	s.reg.Gauge("serve.workers.total", func() float64 { return float64(s.cfg.Workers) })
+	s.reg.Gauge("serve.jobs.records", func() float64 { return float64(len(s.jobs)) })
+	s.reg.Gauge("serve.latency_ms.p50", func() float64 { return float64(s.latency.P50()) })
+	s.reg.Gauge("serve.latency_ms.p95", func() float64 { return float64(s.latency.P95()) })
+	s.reg.Gauge("serve.latency_ms.p99", func() float64 { return float64(s.latency.P99()) })
+	s.reg.Gauge("serve.latency_ms.mean", func() float64 { return s.latency.Mean() })
+	if s.store != nil {
+		// Store.Len does its own IO and needs no lock.
+		s.reg.Gauge("serve.store.entries", func() float64 { return float64(s.store.Len()) })
+	}
+}
+
+// Registry exposes the server's metrics registry (e.g. for logging at exit).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		start := time.Now()
+		s.mu.Lock()
+		j.state = StateRunning
+		s.busy++
+		s.mu.Unlock()
+
+		res, err := s.cfg.Simulate(j.cfg, j.wl)
+		if err == nil {
+			res.Workload = j.wl
+			if s.store != nil {
+				if perr := s.store.Put(j.key, res); perr != nil {
+					// Persistence failures degrade to memory-only.
+					fmt.Fprintf(os.Stderr, "fpbd: %v\n", perr)
+				}
+			}
+		}
+
+		s.mu.Lock()
+		if err != nil {
+			j.state, j.err = StateFailed, err
+			s.cFailed.Inc()
+		} else {
+			j.state, j.res = StateDone, res
+			s.cDone.Inc()
+		}
+		s.busy--
+		delete(s.inflight, j.key)
+		s.latency.Add(int(time.Since(start).Milliseconds()))
+		s.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// submit resolves a request to a job: a store hit returns an already-done
+// synthetic job, an identical in-flight job coalesces, and otherwise a new
+// job is enqueued — or rejected when the queue is full (coalesced=false,
+// job=nil, httpErr carries the status to send).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func (s *Server) submit(cfg sim.Config, wl string) (j *job, cached bool, err *httpError) {
+	key := system.Key(cfg, wl)
+
+	// Store lookup happens outside mu (it is disk IO); the worst case of
+	// racing a concurrent completion is a duplicate-free extra read.
+	if s.store != nil {
+		if res, ok, serr := s.store.Get(key); serr != nil {
+			return nil, false, &httpError{http.StatusInternalServerError, serr.Error()}
+		} else if ok {
+			s.mu.Lock()
+			s.cHits.Inc()
+			j := s.newJobLocked(key, cfg, wl)
+			j.state, j.res = StateDone, res
+			s.mu.Unlock()
+			close(j.done)
+			return j, true, nil
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, &httpError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.cCoalesced.Inc()
+		return j, true, nil
+	}
+	j = s.newJobLocked(key, cfg, wl)
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: forget the job record and push back.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.cRejected.Inc()
+		return nil, false, &httpError{http.StatusTooManyRequests, "job queue is full"}
+	}
+	s.inflight[key] = j
+	s.cAccepted.Inc()
+	s.cMisses.Inc()
+	return j, false, nil
+}
+
+// newJobLocked mints a job record and registers it for polling; mu held.
+func (s *Server) newJobLocked(key string, cfg sim.Config, wl string) *job {
+	s.nextID++
+	j := &job{
+		id:    fmt.Sprintf("j%06d-%s", s.nextID, key[:8]),
+		key:   key,
+		cfg:   cfg,
+		wl:    wl,
+		done:  make(chan struct{}),
+		state: StateQueued,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest finished job records above MaxJobRecords.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.cfg.MaxJobRecords && len(s.order) > 0 {
+		evicted := false
+		for i, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if j.state == StateDone || j.state == StateFailed {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; let the map grow rather than lose jobs
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	body := map[string]any{
+		"status":      "ok",
+		"queue_depth": len(s.queue),
+		"busy":        s.busy,
+		"draining":    s.draining,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.reg.WriteJSON(w); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		fmt.Fprintf(os.Stderr, "fpbd: metrics dump: %v\n", err)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, JobStatus{State: StateFailed, Error: "bad request: " + err.Error()})
+		return
+	}
+	cfg, wl, err := spec.Resolve()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, JobStatus{State: StateFailed, Error: err.Error()})
+		return
+	}
+
+	j, cached, herr := s.submit(cfg, wl)
+	if herr != nil {
+		if herr.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		}
+		writeJSON(w, herr.status, JobStatus{State: StateFailed, Error: herr.msg})
+		return
+	}
+
+	if r.URL.Query().Get("async") == "1" {
+		s.mu.Lock()
+		st := j.status()
+		s.mu.Unlock()
+		st.Cached = cached
+		code := http.StatusAccepted
+		if st.State == StateDone || st.State == StateFailed {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+		return
+	}
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running for any coalesced
+		// waiters and for the store.
+		return
+	}
+	st := j.status() // done => fields are frozen, no lock needed
+	st.Cached = cached
+	code := http.StatusOK
+	if st.State == StateFailed {
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var st JobStatus
+	if ok {
+		st = j.status()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, JobStatus{ID: id, State: StateFailed, Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Drain stops accepting new jobs, lets the queue and in-flight simulations
+// finish (every sync waiter gets its response), and returns when the pool is
+// idle. Safe to call once; new submissions during the drain get 503.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	// Safe: every queue send is a non-blocking select made while holding
+	// mu AND after checking draining, so no send can race this close.
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "fpbd: encoding response: %v\n", err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package serve is the simulation-as-a-service layer: an HTTP JSON API
+// (mounted by cmd/fpbd) that accepts simulation jobs, runs them on a bounded
+// worker pool behind a FIFO queue with explicit backpressure, coalesces
+// concurrent identical requests into one simulation, and persists results in
+// a content-addressed disk store so restarts serve warm answers without
+// re-simulating. Stdlib-only, like the rest of the tree.
+//
+// Endpoints:
+//
+//	GET  /healthz           liveness + queue/worker snapshot
+//	GET  /metrics           JSON dump of the server's obs metrics registry
+//	POST /v1/jobs           run a job (blocks until done); ?async=1 returns
+//	                        202 immediately with an id to poll
+//	GET  /v1/jobs/{id}      status/result of a previously submitted job
+//
+// Jobs are identified by system.Key — the SHA-256 of the canonical
+// (config, workload) serialization — so two requests that spell the same
+// simulation differently still share one queue slot, one worker, and one
+// store entry.
+package serve
+
+import (
+	"fmt"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+// JobSpec is the request body of POST /v1/jobs. Either a full sim.Config is
+// supplied in Config, or the server starts from sim.DefaultConfig; the
+// scalar convenience fields then override whichever base was chosen (so a
+// curl one-liner needs nothing but a workload and a scheme name).
+type JobSpec struct {
+	// Workload names the workload to simulate (required).
+	Workload string `json:"workload"`
+	// Config optionally carries the full simulator configuration.
+	Config *sim.Config `json:"config,omitempty"`
+	// Scheme/Mapping name overrides, as accepted by sim.ParseScheme and
+	// sim.ParseMapping ("fpb", "dimm+chip", "bim", ...).
+	Scheme  string `json:"scheme,omitempty"`
+	Mapping string `json:"mapping,omitempty"`
+	// Seed overrides the RNG seed when non-zero.
+	Seed uint64 `json:"seed,omitempty"`
+	// InstrPerCore overrides the per-core instruction budget when non-zero.
+	InstrPerCore uint64 `json:"instr_per_core,omitempty"`
+}
+
+// Resolve produces the validated (config, workload) pair the spec denotes.
+func (s JobSpec) Resolve() (sim.Config, string, error) {
+	if s.Workload == "" {
+		return sim.Config{}, "", fmt.Errorf("serve: job spec: workload is required")
+	}
+	cfg := sim.DefaultConfig()
+	if s.Config != nil {
+		cfg = *s.Config
+	}
+	if s.Scheme != "" {
+		sc, err := sim.ParseScheme(s.Scheme)
+		if err != nil {
+			return sim.Config{}, "", fmt.Errorf("serve: job spec: %w", err)
+		}
+		cfg.Scheme = sc
+	}
+	if s.Mapping != "" {
+		m, err := sim.ParseMapping(s.Mapping)
+		if err != nil {
+			return sim.Config{}, "", fmt.Errorf("serve: job spec: %w", err)
+		}
+		cfg.CellMapping = m
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.InstrPerCore != 0 {
+		cfg.InstrPerCore = s.InstrPerCore
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, "", fmt.Errorf("serve: job spec: %w", err)
+	}
+	return cfg, s.Workload, nil
+}
+
+// JobState enumerates a job's lifecycle.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is simulating it.
+	StateRunning JobState = "running"
+	// StateDone: finished successfully; Result is populated.
+	StateDone JobState = "done"
+	// StateFailed: the simulation returned an error; Error is populated.
+	StateFailed JobState = "failed"
+)
+
+// JobStatus is the response body of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Key   string   `json:"key"`
+	State JobState `json:"state"`
+	// Cached reports the result was served from the persistent store (or
+	// coalesced onto an identical in-flight job) rather than freshly
+	// simulated for this request.
+	Cached bool           `json:"cached,omitempty"`
+	Result *system.Result `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}

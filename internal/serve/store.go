@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fpb/internal/system"
+)
+
+// Store is a content-addressed, disk-persistent result cache: one JSON file
+// per system.Key under a flat directory. Writes are atomic (temp file +
+// rename), so a daemon killed mid-Put never leaves a truncated entry, and a
+// restarted daemon serves every previously completed job from disk.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (if needed) and opens the store directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file, refusing anything that is not a bare
+// hex content hash (defense against path traversal via a crafted key).
+func (s *Store) path(key string) (string, error) {
+	if len(key) != 64 || strings.IndexFunc(key, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) >= 0 {
+		return "", fmt.Errorf("serve: store: malformed key %q", key)
+	}
+	return filepath.Join(s.dir, key+".json"), nil
+}
+
+// Get loads the result stored under key. ok=false means a clean miss; err
+// is reserved for malformed keys and unreadable/corrupt entries.
+func (s *Store) Get(key string) (res system.Result, ok bool, err error) {
+	p, err := s.path(key)
+	if err != nil {
+		return system.Result{}, false, err
+	}
+	b, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return system.Result{}, false, nil
+	}
+	if err != nil {
+		return system.Result{}, false, fmt.Errorf("serve: store: %w", err)
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		return system.Result{}, false, fmt.Errorf("serve: store: corrupt entry %s: %w", key, err)
+	}
+	return res, true, nil
+}
+
+// Put stores res under key atomically.
+func (s *Store) Put(key string, res system.Result) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("serve: store: encoding %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), p)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store: writing %s: %w", key, werr)
+	}
+	return nil
+}
+
+// Len counts stored entries (used by the metrics gauge; stores are small).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := system.Key(sim.DefaultConfig(), "mcf_m")
+
+	if _, ok, err := st.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	want := system.Result{Workload: "mcf_m", CPI: 42.5, Writes: 7,
+		Metrics: map[string]float64{"mem.writes": 7}}
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(key)
+	if !ok || err != nil {
+		t.Fatalf("after Put: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip: got %+v want %+v", got, want)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+	// No temp litter after an atomic Put.
+	ents, _ := os.ReadDir(st.Dir())
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "put-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd0000000000000000000000000000000000000000000000",
+		strings.Repeat("Z", 64),
+	} {
+		if _, _, err := st.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted a malformed key", key)
+		}
+		if err := st.Put(key, system.Result{}); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", key)
+		}
+	}
+}
+
+func TestStoreReportsCorruptEntries(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := system.Key(sim.DefaultConfig(), "mcf_m")
+	if err := os.WriteFile(filepath.Join(st.Dir(), key+".json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(key); ok || err == nil {
+		t.Errorf("corrupt entry: ok=%v err=%v, want error", ok, err)
+	}
+}

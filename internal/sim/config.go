@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Scheme selects which power-budgeting policy governs MLC PCM writes.
 // These correspond one-to-one to the schemes evaluated in the paper.
@@ -48,6 +52,39 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
+// schemeAliases maps every accepted lowercase spelling to a scheme. These are
+// the names the CLIs and the fpbd job API accept; "fpb" is shorthand for the
+// full GCP+IPM+MR configuration.
+var schemeAliases = map[string]Scheme{
+	"ideal":      SchemeIdeal,
+	"dimm-only":  SchemeDIMMOnly,
+	"dimm+chip":  SchemeDIMMChip,
+	"gcp":        SchemeGCP,
+	"gcp+ipm":    SchemeGCPIPM,
+	"gcp+ipm+mr": SchemeGCPIPMMR,
+	"fpb":        SchemeGCPIPMMR,
+	"ipm":        SchemeIPM,
+	"ipm+mr":     SchemeIPMMR,
+}
+
+// ParseScheme resolves a scheme name (case-insensitive; see SchemeNames).
+func ParseScheme(name string) (Scheme, error) {
+	if s, ok := schemeAliases[strings.ToLower(name)]; ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (valid: %s)", name, strings.Join(SchemeNames(), ", "))
+}
+
+// SchemeNames lists every accepted scheme spelling, sorted.
+func SchemeNames() []string {
+	names := make([]string, 0, len(schemeAliases))
+	for n := range schemeAliases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Mapping selects the static cell-to-chip mapping (paper Section 4.3).
 type Mapping int
 
@@ -71,6 +108,32 @@ func (m Mapping) String() string {
 		return "BIM"
 	}
 	return fmt.Sprintf("Mapping(%d)", int(m))
+}
+
+// mappingAliases maps accepted lowercase mapping names.
+var mappingAliases = map[string]Mapping{
+	"ne":  MapNaive,
+	"vim": MapVIM,
+	"bim": MapBIM,
+}
+
+// ParseMapping resolves a cell-mapping name (case-insensitive; see
+// MappingNames).
+func ParseMapping(name string) (Mapping, error) {
+	if m, ok := mappingAliases[strings.ToLower(name)]; ok {
+		return m, nil
+	}
+	return 0, fmt.Errorf("unknown mapping %q (valid: %s)", name, strings.Join(MappingNames(), ", "))
+}
+
+// MappingNames lists every accepted mapping spelling, sorted.
+func MappingNames() []string {
+	names := make([]string, 0, len(mappingAliases))
+	for n := range mappingAliases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Config holds every tunable of the simulated system. DefaultConfig

@@ -1,0 +1,43 @@
+package system
+
+import (
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+func TestKeyIsStableAndDiscriminating(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	k1 := Key(cfg, "mcf_m")
+	k2 := Key(cfg, "mcf_m")
+	if k1 != k2 {
+		t.Fatalf("same job hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a hex sha256", k1)
+	}
+	if kw := Key(cfg, "lbm_m"); kw == k1 {
+		t.Error("different workloads share a key")
+	}
+	mod := cfg
+	mod.Seed++
+	if km := Key(mod, "mcf_m"); km == k1 {
+		t.Error("different seeds share a key")
+	}
+	mod = cfg
+	mod.Scheme = sim.SchemeIdeal
+	if km := Key(mod, "mcf_m"); km == k1 {
+		t.Error("different schemes share a key")
+	}
+}
+
+func TestCanonicalRoundTripsConfig(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.HalfStripe = true
+	cfg.GCPEff = 0.55
+	b1 := Canonical(cfg, "mix_1")
+	b2 := Canonical(cfg, "mix_1")
+	if string(b1) != string(b2) {
+		t.Fatal("canonical serialization is not byte-deterministic")
+	}
+}

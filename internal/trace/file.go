@@ -103,6 +103,7 @@ func (tw *Writer) Records() uint64 { return tw.records }
 type Reader struct {
 	r      *bufio.Reader
 	header Header
+	n      uint64 // records successfully returned
 	err    error
 }
 
@@ -129,18 +130,34 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the file's metadata.
 func (tr *Reader) Header() Header { return tr.header }
 
-// Err returns the first non-EOF error encountered while streaming.
+// Err returns the first error encountered while streaming. A clean
+// end-of-trace leaves it nil; a file that ends mid-record (truncated by a
+// crash or partial copy) reports which record was cut short, so replay
+// callers can distinguish EOF from corruption.
 func (tr *Reader) Err() error { return tr.err }
 
-// Next implements Source.
+// Records reports how many accesses have been successfully read.
+func (tr *Reader) Records() uint64 { return tr.n }
+
+// Next implements Source. It keeps returning ok=false after any error;
+// check Err to tell exhaustion from corruption.
 func (tr *Reader) Next() (Access, bool) {
+	if tr.err != nil {
+		return Access{}, false
+	}
 	var buf [13]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
-		if err != io.EOF && err != io.ErrUnexpectedEOF {
-			tr.err = err
+		switch err {
+		case io.EOF:
+			// Clean boundary between records: the stream is exhausted.
+		case io.ErrUnexpectedEOF:
+			tr.err = fmt.Errorf("trace: record %d truncated (file ends mid-record): %w", tr.n, err)
+		default:
+			tr.err = fmt.Errorf("trace: record %d: %w", tr.n, err)
 		}
 		return Access{}, false
 	}
+	tr.n++
 	return Access{
 		Gap:   binary.LittleEndian.Uint32(buf[0:4]),
 		Write: buf[4] == 1,

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -109,6 +110,73 @@ func TestFileEmptyTrace(t *testing.T) {
 	}
 	if _, ok := r.Next(); ok {
 		t.Error("empty trace produced a record")
+	}
+}
+
+func TestFileTruncatedMidRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "mcf_m", 0)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Access{Gap: uint32(i), Addr: uint64(0x1000 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the third record.
+	cut := bytes.NewReader(buf.Bytes()[:buf.Len()-7])
+
+	r, err := NewReader(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("read %d complete records, want 2", n)
+	}
+	if r.Records() != 2 {
+		t.Errorf("Records = %d, want 2", r.Records())
+	}
+	err = r.Err()
+	if err == nil {
+		t.Fatal("truncated trace reported no error; corruption is indistinguishable from EOF")
+	}
+	if !strings.Contains(err.Error(), "record 2") {
+		t.Errorf("error %q does not name the truncated record index", err)
+	}
+	// The stream stays terminated after the error.
+	if _, ok := r.Next(); ok {
+		t.Error("Next produced a record after a truncation error")
+	}
+}
+
+func TestFileCleanEOFHasNoError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "mcf_m", 0)
+	if err := w.Write(Access{Gap: 1, Addr: 0x40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF set Err = %v", r.Err())
 	}
 }
 

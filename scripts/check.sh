@@ -1,8 +1,14 @@
 #!/bin/sh
-# Tier-1 verification gate: vet, build, and race-enabled tests.
-# Equivalent to `make check`, for environments without make.
+# Tier-1 verification gate: gofmt cleanliness, vet, build, and race-enabled
+# tests. Equivalent to `make check`, for environments without make.
 set -eux
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt required for:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...
