@@ -6,24 +6,64 @@
 // writebacks) it generated; timing is applied by the CPU model.
 package cache
 
+import (
+	"math/bits"
+	"sync"
+)
+
 // Victim describes a line evicted by an allocation.
 type Victim struct {
 	Addr  uint64 // line-aligned address
 	Dirty bool
 }
 
+// way is the per-way metadata, laid out set-major so the tag probe walks one
+// contiguous run of memory per set instead of gathering from parallel
+// slices. Access is the hottest function in the whole simulator (every
+// instruction of every core goes through up to three of these probes), and
+// prefilled hierarchies are snapshot-cloned wholesale, so the layout is
+// packed to 16 bytes: valid and dirty live in the low bits of the LRU word.
+type way struct {
+	tag  uint64 // line index
+	meta uint64 // LRU tick << 2 | dirty << 1 | valid
+}
+
+const (
+	wayValid  = 1 << 0
+	wayDirty  = 1 << 1
+	tickShift = 2
+)
+
 // Cache is one set-associative write-back, write-allocate cache level.
 type Cache struct {
-	lineB  int
-	ways   int
-	sets   int
-	tags   []uint64 // line index per way, laid out set-major
-	valid  []bool
-	dirty  []bool
-	lastU  []uint64
-	tick   uint64
-	hits   uint64
-	misses uint64
+	lineB     int
+	lineShift uint // log2(lineB) when lineB is a power of two
+	linePow2  bool
+	ways      int
+	sets      int
+	setMask   uint64 // sets-1 when sets is a power of two (the common case)
+	setPow2   bool
+	meta      []way // sets*ways, set-major
+	tick      uint64
+	hits      uint64
+	misses    uint64
+}
+
+// metaPools recycles way arrays by length. A full figure sweep builds
+// hundreds of hierarchies (megabytes of metadata each); reusing released
+// arrays keeps clones on warm pages instead of fault-zeroing fresh ones.
+var metaPools sync.Map // len -> *sync.Pool of []way
+
+func newMeta(n int, zero bool) []way {
+	if p, ok := metaPools.Load(n); ok {
+		if s, _ := p.(*sync.Pool).Get().([]way); s != nil {
+			if zero {
+				clear(s)
+			}
+			return s
+		}
+	}
+	return make([]way, n)
 }
 
 // New builds a cache of sizeBytes capacity with the given line size and
@@ -37,16 +77,21 @@ func New(sizeBytes, lineB, ways int) *Cache {
 	if sets <= 0 {
 		panic("cache: capacity below one set")
 	}
-	n := sets * ways
-	return &Cache{
+	c := &Cache{
 		lineB: lineB,
 		ways:  ways,
 		sets:  sets,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		dirty: make([]bool, n),
-		lastU: make([]uint64, n),
+		meta:  newMeta(sets*ways, true),
 	}
+	if lineB&(lineB-1) == 0 {
+		c.lineShift = uint(bits.TrailingZeros(uint(lineB)))
+		c.linePow2 = true
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+		c.setPow2 = true
+	}
+	return c
 }
 
 // LineBytes reports the cache's line size.
@@ -55,59 +100,95 @@ func (c *Cache) LineBytes() int { return c.lineB }
 // Stats reports accumulated demand hits and misses.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
-func (c *Cache) set(lineIdx uint64) int { return int(lineIdx % uint64(c.sets)) }
+// Clone returns an independent deep copy — same tags, dirty bits, LRU state
+// and statistics. Used to snapshot prefilled hierarchies.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	cp.meta = newMeta(len(c.meta), false)
+	copy(cp.meta, c.meta)
+	return &cp
+}
+
+// Release returns the cache's metadata array to the pool. The cache must
+// not be used afterwards; callers release only when they own the last
+// reference (e.g. a finished simulation tearing down).
+func (c *Cache) Release() {
+	if c.meta == nil {
+		return
+	}
+	p, _ := metaPools.LoadOrStore(len(c.meta), &sync.Pool{})
+	m := c.meta
+	c.meta = nil
+	p.(*sync.Pool).Put(m)
+}
+
+func (c *Cache) lineIndex(addr uint64) uint64 {
+	if c.linePow2 {
+		return addr >> c.lineShift
+	}
+	return addr / uint64(c.lineB)
+}
+
+func (c *Cache) set(lineIdx uint64) int {
+	if c.setPow2 {
+		return int(lineIdx & c.setMask)
+	}
+	return int(lineIdx % uint64(c.sets))
+}
 
 // Access performs a demand access. On a miss the line is allocated
 // (the fill itself is the caller's concern) and the LRU victim, if any,
 // is returned. write marks the line dirty.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, evicted bool) {
-	lineIdx := addr / uint64(c.lineB)
+	lineIdx := c.lineIndex(addr)
 	c.tick++
 	base := c.set(lineIdx) * c.ways
+	set := c.meta[base : base+c.ways]
 	var lruWay, invalidWay = -1, -1
 	var lruTick uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if !c.valid[i] {
+	for w := range set {
+		m := &set[w]
+		if m.meta&wayValid == 0 {
 			invalidWay = w
 			continue
 		}
-		if c.tags[i] == lineIdx {
+		if m.tag == lineIdx {
 			c.hits++
-			c.lastU[i] = c.tick
+			flags := m.meta & (wayValid | wayDirty)
 			if write {
-				c.dirty[i] = true
+				flags |= wayDirty
 			}
+			m.meta = c.tick<<tickShift | flags
 			return true, Victim{}, false
 		}
-		if c.lastU[i] < lruTick {
-			lruTick = c.lastU[i]
+		if u := m.meta >> tickShift; u < lruTick {
+			lruTick = u
 			lruWay = w
 		}
 	}
 	c.misses++
-	way := invalidWay
-	if way < 0 {
-		way = lruWay
-		i := base + way
-		victim = Victim{Addr: c.tags[i] * uint64(c.lineB), Dirty: c.dirty[i]}
+	w := invalidWay
+	if w < 0 {
+		w = lruWay
+		m := &set[w]
+		victim = Victim{Addr: m.tag * uint64(c.lineB), Dirty: m.meta&wayDirty != 0}
 		evicted = true
 	}
-	i := base + way
-	c.tags[i] = lineIdx
-	c.valid[i] = true
-	c.dirty[i] = write
-	c.lastU[i] = c.tick
+	flags := uint64(wayValid)
+	if write {
+		flags |= wayDirty
+	}
+	set[w] = way{tag: lineIdx, meta: c.tick<<tickShift | flags}
 	return false, victim, evicted
 }
 
 // Contains reports whether the line holding addr is cached (no LRU update).
 func (c *Cache) Contains(addr uint64) bool {
-	lineIdx := addr / uint64(c.lineB)
+	lineIdx := c.lineIndex(addr)
 	base := c.set(lineIdx) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == lineIdx {
+	set := c.meta[base : base+c.ways]
+	for w := range set {
+		if set[w].meta&wayValid != 0 && set[w].tag == lineIdx {
 			return true
 		}
 	}
@@ -116,12 +197,12 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // IsDirty reports whether the line holding addr is cached dirty.
 func (c *Cache) IsDirty(addr uint64) bool {
-	lineIdx := addr / uint64(c.lineB)
+	lineIdx := c.lineIndex(addr)
 	base := c.set(lineIdx) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == lineIdx {
-			return c.dirty[i]
+	set := c.meta[base : base+c.ways]
+	for w := range set {
+		if set[w].meta&wayValid != 0 && set[w].tag == lineIdx {
+			return set[w].meta&wayDirty != 0
 		}
 	}
 	return false

@@ -49,6 +49,28 @@ func NewHierarchy(cfg *sim.Config) *Hierarchy {
 	}
 }
 
+// Clone returns an independent deep copy of the hierarchy bound to cfg
+// (pass the original's Cfg to keep sharing it). Used by the workload
+// harness to snapshot a prefilled hierarchy once and stamp out copies for
+// every scheme instead of re-running the multi-hundred-thousand-access
+// prefill per scheme.
+func (h *Hierarchy) Clone(cfg *sim.Config) *Hierarchy {
+	return &Hierarchy{
+		l1:  h.l1.Clone(),
+		l2:  h.l2.Clone(),
+		l3:  h.l3.Clone(),
+		cfg: cfg,
+	}
+}
+
+// Release returns all three levels' metadata arrays to the pool; see
+// Cache.Release. The hierarchy must not be used afterwards.
+func (h *Hierarchy) Release() {
+	h.l1.Release()
+	h.l2.Release()
+	h.l3.Release()
+}
+
 // L1 returns the L1 cache (tests and telemetry).
 func (h *Hierarchy) L1() *Cache { return h.l1 }
 

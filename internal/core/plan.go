@@ -47,6 +47,10 @@ type WritePlan struct {
 	// Rounds > 1 marks a multi-round write: the phase list already
 	// contains every round, over cell subsets scaled by 1/Rounds.
 	Rounds int
+
+	// pooled marks a plan returned to its Planner's pool; it must not be
+	// used until the Planner hands it out again.
+	pooled bool
 }
 
 // TotalDuration sums the phase durations.
@@ -72,13 +76,84 @@ func (p *WritePlan) PeakDIMMDemand() float64 {
 }
 
 // Planner builds WritePlans for a fixed configuration.
+//
+// Plans are pooled: Release returns one (with its per-chip demand vectors)
+// to the planner for reuse, making steady-state planning allocation-free.
+// A Planner must not be shared across goroutines.
 type Planner struct {
-	cfg *sim.Config
+	cfg       *sim.Config
+	free      []*WritePlan
+	chunkFree [][]float64 // pooled per-chip demand vectors, each len cfg.Chips
+	counts    []int       // scratch for the Multi-RESET sub-iteration branch
 }
 
 // NewPlanner returns a planner for the configuration.
 func NewPlanner(cfg *sim.Config) *Planner {
 	return &Planner{cfg: cfg}
+}
+
+// Release returns a plan (and the per-chip demand vectors inside its
+// phases) to the planner's pool. The plan must not be used afterwards;
+// releasing nil or an already pooled plan is a no-op.
+func (pl *Planner) Release(plan *WritePlan) {
+	if plan == nil || plan.pooled {
+		return
+	}
+	plan.pooled = true
+	for i := range plan.Phases {
+		if per := plan.Phases[i].Demand.PerChip; per != nil {
+			pl.chunkFree = append(pl.chunkFree, per)
+			plan.Phases[i].Demand.PerChip = nil
+		}
+	}
+	plan.Phases = plan.Phases[:0]
+	pl.free = append(pl.free, plan)
+}
+
+// newPlan pops the pool or allocates a fresh plan.
+func (pl *Planner) newPlan() *WritePlan {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		p.pooled = false
+		return p
+	}
+	return &WritePlan{}
+}
+
+// newChunk pops a pooled per-chip vector or allocates one. Callers
+// overwrite every element, so chunks are not zeroed.
+func (pl *Planner) newChunk() []float64 {
+	if n := len(pl.chunkFree); n > 0 {
+		c := pl.chunkFree[n-1]
+		pl.chunkFree = pl.chunkFree[:n-1]
+		return c
+	}
+	return make([]float64, pl.cfg.Chips)
+}
+
+// resizeInts returns s resized to n elements, zeroed, reusing its backing
+// array when capacity allows.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// chipDemand fills a pooled per-chip vector with counts×factor×scale, or
+// returns nil when chip budgets are not enforced.
+func (pl *Planner) chipDemand(counts []int, factor, scale float64) []float64 {
+	if !pl.cfg.EnforcesChipBudget() || counts == nil {
+		return nil
+	}
+	per := pl.newChunk()
+	for c, n := range counts {
+		per[c] = float64(n) * factor * scale
+	}
+	return per
 }
 
 // Plan builds the write plan for the profile under the configured scheme,
@@ -99,37 +174,26 @@ func (pl *Planner) PlanMR(prof *pcm.WriteProfile, m int) *WritePlan {
 }
 
 func (pl *Planner) plan(prof *pcm.WriteProfile, mr int) *WritePlan {
-	plan := &WritePlan{MRSplit: mr, Rounds: 1}
+	plan := pl.newPlan()
+	plan.MRSplit = mr
 	rounds := pl.requiredRounds(prof, mr)
 	plan.Rounds = rounds
 	scale := 1.0 / float64(rounds)
 	for r := 0; r < rounds; r++ {
-		plan.Phases = append(plan.Phases, pl.roundPhases(prof, mr, scale)...)
+		pl.roundPhases(plan, prof, mr, scale)
 	}
 	return plan
 }
 
-// roundPhases emits the phases of one write round, with all demands scaled
-// by scale (1/Rounds).
-func (pl *Planner) roundPhases(prof *pcm.WriteProfile, mr int, scale float64) []Phase {
+// roundPhases appends the phases of one write round to the plan, with all
+// demands scaled by scale (1/Rounds).
+func (pl *Planner) roundPhases(plan *WritePlan, prof *pcm.WriteProfile, mr int, scale float64) {
 	cfg := pl.cfg
-	var phases []Phase
-
-	chipDemand := func(counts []int, factor float64) []float64 {
-		if !cfg.EnforcesChipBudget() || counts == nil {
-			return nil
-		}
-		per := make([]float64, len(counts))
-		for c, n := range counts {
-			per[c] = float64(n) * factor * scale
-		}
-		return per
-	}
 
 	switch {
 	case cfg.Scheme == sim.SchemeIdeal:
 		// No budgeting: a single zero-demand phase spanning the write.
-		phases = append(phases, Phase{
+		plan.Phases = append(plan.Phases, Phase{
 			Duration: prof.Duration(cfg, mr),
 			Reset:    true,
 		})
@@ -138,11 +202,11 @@ func (pl *Planner) roundPhases(prof *pcm.WriteProfile, mr int, scale float64) []
 		// Per-write heuristic: the full RESET-sized demand is held for
 		// the entire duration of the longest cell write — exactly the
 		// pessimism Figure 5(a) illustrates.
-		phases = append(phases, Phase{
+		plan.Phases = append(plan.Phases, Phase{
 			Duration: prof.Duration(cfg, mr),
 			Demand: power.Demand{
 				DIMM:    float64(prof.Changed) * scale,
-				PerChip: chipDemand(prof.PerChip, 1),
+				PerChip: pl.chipDemand(prof.PerChip, 1, scale),
 			},
 			Reset: true,
 		})
@@ -152,29 +216,29 @@ func (pl *Planner) roundPhases(prof *pcm.WriteProfile, mr int, scale float64) []
 		ratio := cfg.SetPowerRatio
 		if mr > 1 {
 			// Multi-RESET: m sub-RESETs over static cell groups.
+			pl.counts = resizeInts(pl.counts, len(prof.PerChip))
 			for g := 0; g < mr; g++ {
-				counts := make([]int, len(prof.PerChip))
 				total := 0
 				for c := range prof.PerChip {
 					n := prof.MRGroups[mr][c][g]
-					counts[c] = n
+					pl.counts[c] = n
 					total += n
 				}
-				phases = append(phases, Phase{
+				plan.Phases = append(plan.Phases, Phase{
 					Duration: cfg.ResetCycles,
 					Demand: power.Demand{
 						DIMM:    float64(total) * scale,
-						PerChip: chipDemand(counts, 1),
+						PerChip: pl.chipDemand(pl.counts, 1, scale),
 					},
 					Reset: true,
 				})
 			}
 		} else {
-			phases = append(phases, Phase{
+			plan.Phases = append(plan.Phases, Phase{
 				Duration: cfg.ResetCycles,
 				Demand: power.Demand{
 					DIMM:    float64(prof.Changed) * scale,
-					PerChip: chipDemand(prof.PerChip, 1),
+					PerChip: pl.chipDemand(prof.PerChip, 1, scale),
 				},
 				Reset: true,
 			})
@@ -192,16 +256,15 @@ func (pl *Planner) roundPhases(prof *pcm.WriteProfile, mr int, scale float64) []
 				basis = prof.RemainTotal[j-2]
 				basisPer = prof.RemainPerChip[j-2]
 			}
-			phases = append(phases, Phase{
+			plan.Phases = append(plan.Phases, Phase{
 				Duration: cfg.SetCycles,
 				Demand: power.Demand{
 					DIMM:    float64(basis) * ratio * scale,
-					PerChip: chipDemand(basisPer, ratio),
+					PerChip: pl.chipDemand(basisPer, ratio, scale),
 				},
 			})
 		}
 	}
-	return phases
 }
 
 // maxFeasibilityRounds bounds the multi-round search; no realistic

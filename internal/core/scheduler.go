@@ -112,6 +112,7 @@ func (s *Scheduler) TryStart(prof *pcm.WriteProfile) (*Ticket, bool) {
 			s.mrWrites.Inc()
 			return s.admit(prof, plan, g), true
 		}
+		s.planner.Release(plan)
 		s.admitFailure.Inc()
 		return nil, false
 	}
@@ -119,6 +120,7 @@ func (s *Scheduler) TryStart(prof *pcm.WriteProfile) (*Ticket, bool) {
 	if g, ok := s.mgr.TryAcquire(plan.Phases[0].Demand); ok {
 		return s.admit(prof, plan, g), true
 	}
+	s.planner.Release(plan)
 	if s.cfg.UsesMultiReset() && prof.Changed > 0 {
 		for m := 2; m <= s.cfg.MultiResetSplit && m <= pcm.MaxMultiResetSplit; m++ {
 			mrPlan := s.planner.PlanMR(prof, m)
@@ -126,6 +128,7 @@ func (s *Scheduler) TryStart(prof *pcm.WriteProfile) (*Ticket, bool) {
 				s.mrWrites.Inc()
 				return s.admit(prof, mrPlan, g), true
 			}
+			s.planner.Release(mrPlan)
 		}
 	}
 	s.admitFailure.Inc()
@@ -217,19 +220,24 @@ func (s *Scheduler) Resume(t *Ticket) bool {
 
 // Cancel abandons the write (write cancellation): all tokens are released
 // and the ticket becomes dead. The controller re-issues the write from
-// scratch later.
+// scratch later. The plan is recycled, so the ticket's phase accessors
+// must not be used afterwards.
 func (s *Scheduler) Cancel(t *Ticket) {
 	s.mgr.Release(t.grant)
 	t.grant = nil
 	t.phase = len(t.Plan.Phases)
+	s.planner.Release(t.Plan)
+	t.Plan = nil
 }
 
-// finish completes the write.
+// finish completes the write and recycles its plan.
 func (s *Scheduler) finish(t *Ticket) {
 	s.mgr.Release(t.grant)
 	t.grant = nil
 	s.mgr.RecordWriteGCPUsage(t.gcpUsed)
 	s.completed.Inc()
+	s.planner.Release(t.Plan)
+	t.Plan = nil
 }
 
 // Stats reports scheduler telemetry: admitted writes, completions,

@@ -41,6 +41,12 @@ type Core struct {
 	pendingFill uint64
 	hasFill     bool
 	tailLatency sim.Cycle
+
+	// Bound method values are created once here: evaluating c.method on
+	// the step hot path would allocate a fresh closure per call.
+	drainFn func()
+	issueFn func()
+	readyFn func()
 }
 
 type wbItem struct {
@@ -52,14 +58,21 @@ type wbItem struct {
 // retired.
 func New(id int, eng *sim.Engine, cfg *sim.Config, hier *cache.Hierarchy,
 	src trace.Source, mut *workload.Mutator, mc *mem.Controller, onFinish func(*Core)) *Core {
-	return &Core{
+	c := &Core{
 		ID: id, eng: eng, cfg: cfg, hier: hier, src: src, mut: mut, mc: mc,
 		budget: cfg.InstrPerCore, onFinish: onFinish,
 	}
+	c.drainFn = c.drainWritebacks
+	c.issueFn = c.issueDemandRead
+	c.readyFn = c.readDone
+	return c
 }
 
 // Start begins execution at the current cycle.
 func (c *Core) Start() { c.step() }
+
+// Hierarchy returns the core's private cache hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
 
 // Finished reports whether the core retired its budget.
 func (c *Core) Finished() bool { return c.finished }
@@ -107,7 +120,7 @@ func (c *Core) step() {
 	c.hasFill = out.Level == cache.LevelMemory
 	c.pendingFill = out.FillAddr
 	c.tailLatency = latency
-	c.eng.After(latency, c.drainWritebacks)
+	c.eng.After(latency, c.drainFn)
 }
 
 // synthesize produces the new content of a written-back line using the
@@ -126,7 +139,7 @@ func (c *Core) drainWritebacks() {
 	for len(c.pendingWBs) > 0 {
 		wb := c.pendingWBs[0]
 		if !c.mc.TryEnqueueWrite(wb.addr, wb.data) {
-			c.mc.WaitWriteSpace(c.drainWritebacks)
+			c.mc.WaitWriteSpace(c.drainFn)
 			return
 		}
 		c.memWrites++
@@ -142,11 +155,11 @@ func (c *Core) issueDemandRead() {
 		return
 	}
 	addr := c.pendingFill
-	if !c.mc.TryEnqueueRead(addr, c.readDone) {
+	if !c.mc.TryEnqueueRead(addr, c.readyFn) {
 		c.mc.WaitReadSpace(func() {
-			if !c.mc.TryEnqueueRead(addr, c.readDone) {
+			if !c.mc.TryEnqueueRead(addr, c.readyFn) {
 				// Space was taken by another waiter; queue again.
-				c.mc.WaitReadSpace(c.issueDemandRead)
+				c.mc.WaitReadSpace(c.issueFn)
 				return
 			}
 			c.demandReads++

@@ -40,6 +40,66 @@ func New(m sim.Mapping, cellsPerLine, chips int) Func {
 	}
 }
 
+// Table precomputes a mapping over a line's cell indices so the write-path
+// hot loop does one slice lookup per cell instead of walking a closure
+// chain. Rotation offsets and the half-stripe narrowing — which vary per
+// line — are composed as integer math over the same table via Select, so
+// no per-write closures are allocated.
+//
+// A Table is not safe for concurrent use: Select mutates the variant state
+// its cached Func reads.
+type Table struct {
+	cells  int
+	tab    []int // tab[cell] = base mapping's chip
+	hsTab  []int // tab[cell] % (chips/2), for half-stripe lines
+	offset int   // current rotation offset, in [0, cells)
+	base   int   // first chip of the selected half (half-stripe only)
+	half   bool  // whether the half-stripe narrowing is selected
+	fn     Func  // cached closure over lookup
+}
+
+// NewTable tabulates f over cellsPerLine cells for a DIMM of chips chips.
+func NewTable(f Func, cellsPerLine, chips int) *Table {
+	t := &Table{cells: cellsPerLine}
+	t.tab = make([]int, cellsPerLine)
+	t.hsTab = make([]int, cellsPerLine)
+	half := chips / 2
+	if half == 0 {
+		half = 1
+	}
+	for c := range t.tab {
+		t.tab[c] = f(c)
+		t.hsTab[c] = f(c) % half
+	}
+	t.fn = t.lookup
+	return t
+}
+
+// Select configures the table's variant — rotation offset and, when
+// halfStripe is set, which chip half the line occupies — and returns the
+// mapping Func. The Func is shared across calls: it is valid until the
+// next Select, which suits the controller's build-then-discard usage.
+func (t *Table) Select(offset, chips int, halfStripe, upper bool) Func {
+	t.offset = offset % t.cells
+	t.half = halfStripe
+	t.base = 0
+	if halfStripe && upper {
+		t.base = chips / 2
+	}
+	return t.fn
+}
+
+func (t *Table) lookup(cell int) int {
+	idx := cell + t.offset
+	if idx >= t.cells {
+		idx -= t.cells
+	}
+	if t.half {
+		return t.base + t.hsTab[idx]
+	}
+	return t.tab[idx]
+}
+
 // Rotator implements the overhead-free near-perfect intra-line wear leveling
 // used by the PWL heuristic: each line's logical cells are rotated by a
 // per-line offset, and the offset is re-randomized every ShiftEvery writes

@@ -237,3 +237,48 @@ func TestImbalanceEdgeCases(t *testing.T) {
 		t.Errorf("balanced imbalance = %g, want 1", got)
 	}
 }
+
+// TestTableMatchesClosureComposition checks the precomputed table against
+// the reference closure chain Rotated(HalfStripe(...)) for every mapping,
+// offset, and half selection — the table is the hot-path replacement and
+// must agree cell for cell.
+func TestTableMatchesClosureComposition(t *testing.T) {
+	const cells, chips = 64, 8
+	for _, m := range []sim.Mapping{sim.MapNaive, sim.MapVIM, sim.MapBIM} {
+		base := New(m, cells, chips)
+		tab := NewTable(base, cells, chips)
+		for offset := 0; offset < cells; offset += 7 {
+			for _, hs := range []bool{false, true} {
+				for _, upper := range []bool{false, true} {
+					ref := Rotated(base, offset, cells)
+					if hs {
+						ref = HalfStripe(ref, chips, upper)
+					}
+					got := tab.Select(offset, chips, hs, upper)
+					for cell := 0; cell < cells; cell++ {
+						if got(cell) != ref(cell) {
+							t.Fatalf("mapping %v offset=%d hs=%v upper=%v cell %d: table=%d ref=%d",
+								m, offset, hs, upper, cell, got(cell), ref(cell))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableSelectReconfigures checks that Select fully replaces the prior
+// variant state (no leakage between per-line configurations).
+func TestTableSelectReconfigures(t *testing.T) {
+	const cells, chips = 16, 4
+	base := New(sim.MapVIM, cells, chips)
+	tab := NewTable(base, cells, chips)
+	f := tab.Select(3, chips, true, true)
+	_ = f(5)
+	f = tab.Select(0, chips, false, false)
+	for cell := 0; cell < cells; cell++ {
+		if f(cell) != base(cell) {
+			t.Fatalf("after reset Select, cell %d: got %d want %d", cell, f(cell), base(cell))
+		}
+	}
+}

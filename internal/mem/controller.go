@@ -72,6 +72,7 @@ type Controller struct {
 	builder  *pcm.Builder
 	amap     *pcm.AddressMap
 	mapFn    mapping.Func
+	mapTab   *mapping.Table
 	rot      *mapping.Rotator
 	baseline BaselineFunc
 
@@ -135,6 +136,7 @@ func NewController(eng *sim.Engine, cfg *sim.Config, baseline BaselineFunc) *Con
 		lineWrites:   make(map[uint64]uint64),
 		writeLatHist: stats.NewHistogram(latMaxBuckets),
 	}
+	c.mapTab = mapping.NewTable(c.mapFn, cfg.CellsPerLine(), cfg.Chips)
 	if cfg.PWL {
 		c.rot = mapping.NewRotator(cfg.CellsPerLine(), cfg.PWLShiftWrites, rng.Derive(2))
 	}
@@ -435,6 +437,8 @@ func (c *Controller) issueWrites() {
 		prof := c.profileFor(req)
 		ticket, ok := c.sched.TryStart(prof)
 		if !ok {
+			// Not admitted: the profile is rebuilt on the next attempt.
+			c.builder.Release(prof)
 			if !powerOOO {
 				break
 			}
@@ -531,13 +535,10 @@ func (c *Controller) profileFor(req *WriteRequest) *pcm.WriteProfile {
 	if old == nil {
 		old = c.baseline(req.Addr, c.cfg.L3LineB)
 	}
-	mapF := c.mapFn
-	if c.rot != nil {
-		mapF = mapping.Rotated(mapF, c.rot.Offset(req.Addr), c.cfg.CellsPerLine())
-	}
-	if c.cfg.HalfStripe {
-		mapF = mapping.HalfStripe(mapF, c.cfg.Chips, c.amap.LineIndex(req.Addr)%2 == 1)
-	}
+	// The composed rotation + half-stripe variant is served from the
+	// precomputed table: no closure chain, no per-attempt allocations.
+	mapF := c.mapTab.Select(c.rot.Offset(req.Addr), c.cfg.Chips,
+		c.cfg.HalfStripe, c.amap.LineIndex(req.Addr)%2 == 1)
 	return c.builder.Build(req.Addr, old, req.Data, mapF, c.cfg.WriteTruncation)
 }
 
@@ -684,12 +685,14 @@ func (c *Controller) cancelWrite(op *writeOp) {
 			ID: op.bank, Addr: op.req.Addr, V: float64(op.req.cancelled)})
 	}
 	// Re-issue from scratch: the profile is rebuilt on the next attempt.
+	c.builder.Release(op.prof)
+	op.prof = nil
 	c.wrq = append([]*WriteRequest{op.req}, c.wrq...)
 }
 
 // completeWrite commits the new content and frees the bank.
 func (c *Controller) completeWrite(op *writeOp) {
-	c.store.Put(op.req.Addr, op.req.Data)
+	c.store.Update(op.req.Addr, op.req.Data)
 	c.writesDone.Inc()
 	lat := c.eng.Now() - op.req.enqueued
 	c.writeLatency.Add(float64(lat))
@@ -705,6 +708,8 @@ func (c *Controller) completeWrite(op *writeOp) {
 	}
 	c.cellChanges.Add(float64(op.prof.Changed))
 	c.writeEnergy.Add(op.prof.WriteEnergyPJ(c.cfg))
+	c.builder.Release(op.prof)
+	op.prof = nil
 	c.lineWrites[op.req.Addr]++
 	if n := c.lineWrites[op.req.Addr]; n > c.maxLineWr {
 		c.maxLineWr = n

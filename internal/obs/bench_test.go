@@ -1,0 +1,71 @@
+package obs_test
+
+import (
+	"testing"
+
+	"fpb/internal/obs"
+	"fpb/internal/sim"
+)
+
+// The kernel hot loop pays for observability in exactly two places: the
+// engine's nil-checked dispatch hook and Tracing() guards in front of every
+// Emit. These benchmarks pin both costs at (near) zero when no tracer is
+// attached — compare BenchmarkDispatchNoHub against the other two.
+
+// BenchmarkDispatchNoHub is the baseline: bare engine, no hub anywhere.
+func BenchmarkDispatchNoHub(b *testing.B) {
+	e := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Cycle(i%1000), fn)
+		if i%64 == 0 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}
+
+// BenchmarkDispatchNilTracerGuard models the production configuration: a
+// hub exists but no tracer is set, so every dispatch takes the Tracing()
+// false branch and constructs no event.
+func BenchmarkDispatchNilTracerGuard(b *testing.B) {
+	e := sim.NewEngine()
+	h := obs.NewHub()
+	fn := func() {
+		if h.Tracing() {
+			h.Emit(obs.Event{Kind: obs.Instant, Cat: "engine", Name: "dispatch", ID: -1})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Cycle(i%1000), fn)
+		if i%64 == 0 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}
+
+// BenchmarkDispatchHookInstalled measures the dispatch hook itself (the
+// "engine" trace category) with a tracer that admits nothing, i.e. the
+// worst case a user can configure short of actually writing records.
+func BenchmarkDispatchHookInstalled(b *testing.B) {
+	e := sim.NewEngine()
+	h := obs.NewHub()
+	e.SetDispatchHook(func(now sim.Cycle, ran uint64) {
+		if h.Tracing() {
+			h.Emit(obs.Event{Cycle: uint64(now), Kind: obs.Instant, Cat: "engine",
+				Name: "dispatch", ID: -1, V: float64(ran)})
+		}
+	})
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Cycle(i%1000), fn)
+		if i%64 == 0 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}

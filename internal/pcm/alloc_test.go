@@ -1,0 +1,25 @@
+package pcm
+
+import (
+	"testing"
+
+	"fpb/internal/testutil"
+)
+
+// TestStoreUpdateSteadyStateZeroAlloc guards the paged store's write path:
+// rewriting a materialized line must not touch the allocator.
+func TestStoreUpdateSteadyStateZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := NewStore(64)
+	line := make([]byte, 64)
+	s.Update(0x1000, line) // materialize the page
+	allocs := testing.AllocsPerRun(1000, func() {
+		line[0]++
+		s.Update(0x1000, line)
+	})
+	if allocs != 0 {
+		t.Fatalf("Update allocated %.1f objects/op, want 0", allocs)
+	}
+}

@@ -53,6 +53,8 @@ func BenchmarkProfileBuild(b *testing.B) {
 		if p.Changed == 0 {
 			b.Fatal("empty profile")
 		}
+		// Steady state: the controller releases every profile it builds.
+		builder.Release(p)
 	}
 }
 

@@ -57,24 +57,70 @@ type WriteProfile struct {
 	// Truncated is the number of slow cells cut off by write truncation
 	// (they are left to ECC; see Jiang et al. HPCA'12).
 	Truncated int
+
+	// pooled marks a profile that has been returned to its Builder's pool
+	// and must not be used until newProfile hands it out again.
+	pooled bool
 }
 
 // Builder constructs WriteProfiles. It owns the iteration model RNG stream
 // and scratch buffers, so one Builder must not be shared across goroutines.
+//
+// Profiles are pooled: Release returns one to the builder for reuse, which
+// makes steady-state profile construction allocation-free. A caller that
+// never releases simply pays the allocations the pool would have avoided.
 type Builder struct {
-	cfg     *sim.Config
-	iters   *IterModel
-	scratch []int
-	seed    uint64
+	cfg      *sim.Config
+	iters    *IterModel
+	scratch  []int
+	seed     uint64
+	writeRNG *sim.RNG    // reseeded per Build from the write's content hash
+	targets  []CellState // scratch for Build's target states
+	iterOf   []int       // scratch: per-cell iteration counts
+	chipOf   []int       // scratch: per-cell chip indices
+	free     []*WriteProfile
 }
 
 // NewBuilder returns a profile builder for the configuration.
 func NewBuilder(cfg *sim.Config, rng *sim.RNG) *Builder {
 	return &Builder{
-		cfg:   cfg,
-		iters: NewIterModel(cfg, rng),
-		seed:  rng.Uint64(),
+		cfg:      cfg,
+		iters:    NewIterModel(cfg, rng),
+		seed:     rng.Uint64(),
+		writeRNG: sim.NewRNG(0),
 	}
+}
+
+// Release returns a profile to the builder's pool. The profile must not be
+// used afterwards; releasing nil or an already pooled profile is a no-op.
+func (b *Builder) Release(p *WriteProfile) {
+	if p == nil || p.pooled {
+		return
+	}
+	p.pooled = true
+	b.free = append(b.free, p)
+}
+
+// newProfile pops the pool or allocates a fresh profile.
+func (b *Builder) newProfile() *WriteProfile {
+	if n := len(b.free); n > 0 {
+		p := b.free[n-1]
+		b.free = b.free[:n-1]
+		p.pooled = false
+		return p
+	}
+	return &WriteProfile{}
+}
+
+// resizeInts returns s resized to n elements, zeroed, reusing its backing
+// array when capacity allows.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // Build computes the profile for writing new over old (old nil = all-zero
@@ -88,9 +134,9 @@ func NewBuilder(cfg *sim.Config, rng *sim.RNG) *Builder {
 // could spuriously beat Ideal.
 func (b *Builder) Build(lineAddr uint64, old, new []byte, mapFn mapping.Func, truncate bool) *WriteProfile {
 	b.scratch = DiffCells(b.scratch[:0], old, new, b.cfg.BitsPerCell)
-	writeRNG := sim.NewRNG(contentHash(lineAddr, old, new))
+	b.writeRNG.Reseed(contentHash(lineAddr, old, new))
 	saved := b.iters.rng
-	b.iters.rng = writeRNG
+	b.iters.rng = b.writeRNG
 	p := b.buildFromCells(lineAddr, b.scratch, new, mapFn, truncate)
 	b.iters.rng = saved
 	return p
@@ -120,14 +166,15 @@ func contentHash(lineAddr uint64, old, new []byte) uint64 {
 // nil, in which case states are drawn uniformly (used by synthetic
 // stress tests).
 func (b *Builder) BuildFromCells(lineAddr uint64, cells []int, targets []CellState, mapFn mapping.Func, truncate bool) *WriteProfile {
-	p := &WriteProfile{
-		LineAddr: lineAddr,
-		Changed:  len(cells),
-		PerChip:  make([]int, b.cfg.Chips),
-	}
+	p := b.newProfile()
+	p.LineAddr = lineAddr
+	p.Changed = len(cells)
+	p.Truncated = 0
+	p.PerChip = resizeInts(p.PerChip, b.cfg.Chips)
 	maxIters := b.cfg.IterMax
-	iterOf := make([]int, len(cells))
-	chipOf := make([]int, len(cells))
+	b.iterOf = resizeInts(b.iterOf, len(cells))
+	b.chipOf = resizeInts(b.chipOf, len(cells))
+	iterOf, chipOf := b.iterOf, b.chipOf
 	total := 1
 	for i, cell := range cells {
 		var target CellState
@@ -149,10 +196,16 @@ func (b *Builder) BuildFromCells(lineAddr uint64, cells []int, targets []CellSta
 		total = maxIters
 	}
 	p.TotalIters = total
-	p.RemainTotal = make([]int, total+1)
-	p.RemainPerChip = make([][]int, total+1)
+	p.RemainTotal = resizeInts(p.RemainTotal, total+1)
+	if cap(p.RemainPerChip) < total+1 {
+		rows := make([][]int, total+1)
+		copy(rows, p.RemainPerChip[:cap(p.RemainPerChip)])
+		p.RemainPerChip = rows
+	} else {
+		p.RemainPerChip = p.RemainPerChip[:total+1]
+	}
 	for k := range p.RemainPerChip {
-		p.RemainPerChip[k] = make([]int, b.cfg.Chips)
+		p.RemainPerChip[k] = resizeInts(p.RemainPerChip[k], b.cfg.Chips)
 	}
 	for i := range cells {
 		t := iterOf[i]
@@ -163,17 +216,29 @@ func (b *Builder) BuildFromCells(lineAddr uint64, cells []int, targets []CellSta
 		}
 	}
 
-	// Multi-RESET static groups.
-	p.MRGroups = make([][][]int, MaxMultiResetSplit+1)
-	for m := 2; m <= MaxMultiResetSplit; m++ {
-		g := make([][]int, b.cfg.Chips)
-		for c := range g {
-			g[c] = make([]int, m)
+	// Multi-RESET static groups (reuse the [m][chip][group] shape across
+	// pooled profiles: the chip count is fixed per Builder).
+	if p.MRGroups == nil {
+		p.MRGroups = make([][][]int, MaxMultiResetSplit+1)
+		for m := 2; m <= MaxMultiResetSplit; m++ {
+			g := make([][]int, b.cfg.Chips)
+			for c := range g {
+				g[c] = make([]int, m)
+			}
+			p.MRGroups[m] = g
 		}
+	} else {
+		for m := 2; m <= MaxMultiResetSplit; m++ {
+			for _, counts := range p.MRGroups[m] {
+				clear(counts)
+			}
+		}
+	}
+	for m := 2; m <= MaxMultiResetSplit; m++ {
+		g := p.MRGroups[m]
 		for i, cell := range cells {
 			g[chipOf[i]][(cell/mrGroupGranularity)%m]++
 		}
-		p.MRGroups[m] = g
 	}
 
 	if truncate && b.cfg.TruncateTailCells > 0 {
@@ -185,11 +250,14 @@ func (b *Builder) BuildFromCells(lineAddr uint64, cells []int, targets []CellSta
 // buildFromCells is Build's shared tail; cells index into the line, and new
 // supplies target states.
 func (b *Builder) buildFromCells(lineAddr uint64, cells []int, new []byte, mapFn mapping.Func, truncate bool) *WriteProfile {
-	targets := make([]CellState, len(cells))
-	for i, cell := range cells {
-		targets[i] = Cell(new, cell, b.cfg.BitsPerCell)
+	if cap(b.targets) < len(cells) {
+		b.targets = make([]CellState, len(cells))
 	}
-	return b.BuildFromCells(lineAddr, cells, targets, mapFn, truncate)
+	b.targets = b.targets[:len(cells)]
+	for i, cell := range cells {
+		b.targets[i] = Cell(new, cell, b.cfg.BitsPerCell)
+	}
+	return b.BuildFromCells(lineAddr, cells, b.targets, mapFn, truncate)
 }
 
 // applyTruncation implements write truncation: the write ends at the first

@@ -1,0 +1,11 @@
+//go:build !fpbdebug
+
+package pcm
+
+// storeGuard is compiled away in normal builds; the fpbdebug tag swaps in a
+// checking implementation that panics when a caller mutates a slice
+// previously returned by Store.Get. See store_guard_on.go.
+type storeGuard struct{}
+
+func (storeGuard) onGet(uint64, []byte) {}
+func (storeGuard) onPut(uint64, []byte) {}

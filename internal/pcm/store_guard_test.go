@@ -1,0 +1,33 @@
+//go:build fpbdebug
+
+package pcm
+
+import "testing"
+
+// TestStoreGuardPanicsOnGetViewMutation verifies the fpbdebug aliasing
+// guard: mutating a slice returned by Get must panic at the next store
+// access touching that line.
+func TestStoreGuardPanicsOnGetViewMutation(t *testing.T) {
+	s := NewStore(4)
+	s.Put(0x40, []byte{1, 2, 3, 4})
+	view := s.Get(0x40)
+	view[0] = 99 // illegal: Get views are read-only
+	defer func() {
+		if recover() == nil {
+			t.Error("mutated Get view was not detected")
+		}
+	}()
+	s.Get(0x40)
+}
+
+// TestStoreGuardAllowsPut verifies the guard does not fire on the legal
+// write path.
+func TestStoreGuardAllowsPut(t *testing.T) {
+	s := NewStore(4)
+	s.Put(0x40, []byte{1, 2, 3, 4})
+	_ = s.Get(0x40)
+	s.Put(0x40, []byte{5, 6, 7, 8}) // legal rewrite
+	if got := s.Get(0x40); got[0] != 5 {
+		t.Error("Put after Get did not stick")
+	}
+}

@@ -28,12 +28,15 @@ func (d *Demand) Total() float64 {
 }
 
 // Grant records a satisfied Demand so it can be released or resized later.
+// Grants are pooled inside the Manager: Release recycles them, so a grant
+// must not be used after it is released.
 type Grant struct {
 	dimm       float64
 	lcp        []float64 // tokens taken from each chip's LCP
 	gcpOut     float64   // GCP output tokens supplied
 	borrowed   []float64 // LCP tokens borrowed per chip to fund the GCP
 	maxSegment float64   // largest single GCP-powered chip segment
+	pooled     bool      // in the manager's free list; guards double release
 }
 
 // GCPTokens reports the GCP output tokens this grant is consuming.
@@ -67,6 +70,8 @@ type Manager struct {
 	scratchOrder  []int
 	scratchShort  []int
 	scratchNeeded []float64
+	grantFree     []*Grant
+	vecFree       [][]float64 // pooled per-chip vectors, each len(chips), zeroed
 }
 
 // NewManager builds pools from the configuration and registers the
@@ -115,8 +120,52 @@ func (m *Manager) GCPInUse() float64 { return m.gcp.InUse() }
 // CanAcquire reports whether the demand could be granted right now without
 // mutating any state.
 func (m *Manager) CanAcquire(d Demand) bool {
-	ok, _ := m.plan(d)
+	ok, g := m.plan(d)
+	m.recycle(g) // planned but never committed: no tokens to return
 	return ok
+}
+
+// newGrant pops the grant pool or allocates.
+func (m *Manager) newGrant() *Grant {
+	if n := len(m.grantFree); n > 0 {
+		g := m.grantFree[n-1]
+		m.grantFree = m.grantFree[:n-1]
+		g.pooled = false
+		return g
+	}
+	return &Grant{}
+}
+
+// newVec pops a zeroed per-chip vector or allocates one.
+func (m *Manager) newVec() []float64 {
+	if n := len(m.vecFree); n > 0 {
+		v := m.vecFree[n-1]
+		m.vecFree = m.vecFree[:n-1]
+		return v
+	}
+	return make([]float64, len(m.chips))
+}
+
+// recycle returns a grant and its vectors to the pools without touching
+// token accounting (callers return tokens first if the grant was
+// committed). Recycling nil or an already pooled grant is a no-op.
+func (m *Manager) recycle(g *Grant) {
+	if g == nil || g.pooled {
+		return
+	}
+	g.pooled = true
+	if g.lcp != nil {
+		clear(g.lcp)
+		m.vecFree = append(m.vecFree, g.lcp)
+		g.lcp = nil
+	}
+	if g.borrowed != nil {
+		clear(g.borrowed)
+		m.vecFree = append(m.vecFree, g.borrowed)
+		g.borrowed = nil
+	}
+	g.dimm, g.gcpOut, g.maxSegment = 0, 0, 0
+	m.grantFree = append(m.grantFree, g)
 }
 
 // TryAcquire attempts to grant the demand; it returns (grant, true) on
@@ -137,14 +186,15 @@ func (m *Manager) plan(d Demand) (bool, *Grant) {
 		m.deniedDIMM.Inc()
 		return false, nil
 	}
-	g := &Grant{dimm: d.DIMM}
+	g := m.newGrant()
+	g.dimm = d.DIMM
 	if !m.cfg.EnforcesChipBudget() || d.PerChip == nil {
 		return true, g
 	}
 	if len(d.PerChip) != len(m.chips) {
 		panic(fmt.Sprintf("power: demand for %d chips, manager has %d", len(d.PerChip), len(m.chips)))
 	}
-	g.lcp = make([]float64, len(m.chips))
+	g.lcp = m.newVec()
 	// Pass 1: segments the LCPs can power directly.
 	m.scratchShort = m.scratchShort[:0]
 	gcpOutNeeded := 0.0
@@ -174,13 +224,14 @@ func (m *Manager) plan(d Demand) (bool, *Grant) {
 		} else {
 			m.deniedChip.Inc()
 		}
+		m.recycle(g)
 		return false, nil
 	}
 	// Fund the GCP: borrow gcpOutNeeded * E_LCP / E_GCP raw LCP tokens
 	// from chips with spare capacity (Eq. 5), greedily from the chips
 	// with the most headroom after their own LCP allocations.
 	borrowNeed := gcpOutNeeded * m.cfg.LCPEff / m.cfg.GCPEff
-	g.borrowed = make([]float64, len(m.chips))
+	g.borrowed = m.newVec()
 	if cap(m.scratchOrder) < len(m.chips) {
 		m.scratchOrder = make([]int, len(m.chips))
 		m.scratchNeeded = make([]float64, len(m.chips))
@@ -209,6 +260,7 @@ func (m *Manager) plan(d Demand) (bool, *Grant) {
 	}
 	if remaining > epsilon {
 		m.deniedGCP.Inc()
+		m.recycle(g)
 		return false, nil
 	}
 	g.gcpOut = gcpOutNeeded
@@ -254,9 +306,11 @@ func (m *Manager) commit(d Demand, g *Grant) {
 	m.grantsIssued.Inc()
 }
 
-// Release returns every token held by the grant.
+// Release returns every token held by the grant and recycles it; the grant
+// must not be used afterwards. Releasing nil or an already released grant
+// is a no-op.
 func (m *Manager) Release(g *Grant) {
-	if g == nil {
+	if g == nil || g.pooled {
 		return
 	}
 	if g.dimm > 0 {
@@ -279,8 +333,7 @@ func (m *Manager) Release(g *Grant) {
 			m.hub.Emit(obs.Event{Kind: obs.Meter, Cat: "power", Name: "gcp.tokens_in_use", ID: -1, V: m.gcp.InUse()})
 		}
 	}
-	g.dimm, g.gcpOut = 0, 0
-	g.lcp, g.borrowed = nil, nil
+	m.recycle(g)
 }
 
 // Resize releases old and immediately tries to acquire next; on failure the

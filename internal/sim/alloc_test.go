@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"fpb/internal/testutil"
+)
+
+// TestEngineScheduleDispatchZeroAlloc guards the free-list pool: once the
+// pool is primed, schedule + dispatch must not touch the allocator.
+func TestEngineScheduleDispatchZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := NewEngine()
+	fn := func() {}
+	// Prime the pool.
+	e.After(1, fn)
+	e.Run(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(10, fn)
+		e.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEngineArmZeroAlloc guards the caller-owned fast path: re-arming an
+// embedded event must never allocate, even on the first use.
+func TestEngineArmZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := NewEngine()
+	var ev Event
+	ev.index = idxIdle
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Arm(&ev, 10, fn)
+		e.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Arm+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEngineFarEventSteadyStateZeroAlloc covers the overflow-heap tier: the
+// heap's backing array is retained across migrations, so even far events are
+// allocation-free once capacity exists.
+func TestEngineFarEventSteadyStateZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := NewEngine()
+	fn := func() {}
+	// Prime pool and heap capacity.
+	e.After(2*numBuckets, fn)
+	e.Run(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(2*numBuckets, fn)
+		e.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("far schedule+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEngine is the pre-calendar-queue kernel: a single binary heap ordered
+// by (when, seq). It is kept here as the ordering oracle the calendar queue
+// must match event for event.
+type refEngine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+}
+
+type refEvent = Event
+
+func (e *refEngine) at(when Cycle, fn func()) *refEvent {
+	if when < e.now {
+		panic("ref: scheduling in the past")
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn, index: idxIdle}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+func (e *refEngine) cancel(ev *refEvent) {
+	if ev == nil || ev.index == idxIdle {
+		return
+	}
+	ev.cancel = true
+}
+
+func (e *refEngine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.when
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+func (e *refEngine) run() {
+	for e.step() {
+	}
+}
+
+// storm drives either kernel with an identical, seed-determined mix of
+// schedules, cancellations, and nested re-schedules, and returns the
+// dispatch order of event IDs. schedule/cancel/run abstract over the two
+// kernels so the same op stream hits both.
+func storm(seed uint64, schedule func(delay Cycle, fn func()) any, cancel func(h any), run func()) []int {
+	rng := NewRNG(seed)
+	var order []int
+	var handles []any
+	id := 0
+
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		myID := id
+		id++
+		// Mix of near (bucket), far (overflow heap), and same-cycle
+		// delays so every queue tier and the migration path is hit.
+		var delay Cycle
+		switch rng.Intn(4) {
+		case 0:
+			delay = 0
+		case 1:
+			delay = Cycle(rng.Intn(64))
+		case 2:
+			delay = Cycle(rng.Intn(numBuckets))
+		default:
+			delay = Cycle(numBuckets + rng.Intn(4*numBuckets))
+		}
+		h := schedule(delay, func() {
+			order = append(order, myID)
+			if depth < 3 && rng.Bernoulli(0.35) {
+				spawn(depth + 1)
+			}
+		})
+		handles = append(handles, h)
+		// Cancel only handles that are certainly still pending (the one
+		// just scheduled): the pooled engine recycles dispatched events,
+		// so cancelling an arbitrary old handle is outside the ownership
+		// contract and would diverge from the non-pooling reference.
+		if rng.Bernoulli(0.15) {
+			cancel(h)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		spawn(0)
+	}
+	run()
+	return order
+}
+
+// TestEngineQueueMatchesReferenceHeap cross-checks the calendar queue
+// against the reference binary heap on seeded random event storms: both
+// kernels must dispatch the exact same events in the exact same order.
+func TestEngineQueueMatchesReferenceHeap(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		eng := NewEngine()
+		got := storm(seed,
+			func(d Cycle, fn func()) any { return eng.After(d, fn) },
+			func(h any) { eng.Cancel(h.(*Event)) },
+			func() { eng.Run(0) },
+		)
+		ref := &refEngine{}
+		want := storm(seed,
+			func(d Cycle, fn func()) any { return ref.at(ref.now+d, fn) },
+			func(h any) { ref.cancel(h.(*refEvent)) },
+			func() { ref.run() },
+		)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: engine ran %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dispatch %d: engine ran event %d, reference %d",
+					seed, i, got[i], want[i])
+			}
+		}
+		if eng.Pending() != 0 {
+			t.Fatalf("seed %d: %d events stuck in queue", seed, eng.Pending())
+		}
+	}
+}
+
+// TestEngineStaleHandleCancelAfterRecycleHitsPoolEvent pins the sharp edge
+// of event pooling: a handle held past its dispatch and cancelled later can
+// alias a recycled Event and kill an unrelated pending callback. Callers
+// must clear handles at dispatch (as mem.Controller does with its phase
+// events) or use caller-owned Arm events, which are never pooled.
+func TestEngineStaleHandleCancelAfterRecycleHitsPoolEvent(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Run(0) // dispatches and recycles `stale`
+	ran := false
+	fresh := e.At(2, func() { ran = true })
+	if fresh != stale {
+		t.Skip("allocator did not reuse the event; nothing to pin")
+	}
+	e.Cancel(stale) // stale handle now aliases `fresh`
+	e.Run(0)
+	if ran {
+		t.Fatal("expected the stale cancel to hit the recycled event — contract changed")
+	}
+}
+
+// TestEngineArmReuse exercises the caller-owned fast path: one embedded
+// event re-armed across dispatches, with cancel/re-arm interleaving.
+func TestEngineArmReuse(t *testing.T) {
+	e := NewEngine()
+	var ev Event
+	ev.index = idxIdle
+	count := 0
+	var fire func()
+	fire = func() {
+		count++
+		if count < 5 {
+			e.Arm(&ev, 10, fire)
+		}
+	}
+	e.Arm(&ev, 10, fire)
+	e.Run(0)
+	if count != 5 {
+		t.Fatalf("armed event fired %d times, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %d, want 50", e.Now())
+	}
+
+	// Cancel then re-arm: the cancelled instance must not fire.
+	e.Arm(&ev, 5, func() { t.Fatal("cancelled armed event fired") })
+	e.Cancel(&ev)
+	e.Run(0)
+	fired := false
+	e.Arm(&ev, 5, func() { fired = true })
+	e.Run(0)
+	if !fired {
+		t.Fatal("re-armed event did not fire")
+	}
+	if ev.Scheduled() {
+		t.Fatal("dispatched armed event still reports Scheduled")
+	}
+
+	// Arming a pending event must panic.
+	e.Arm(&ev, 5, func() {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Arm did not panic")
+			}
+		}()
+		e.Arm(&ev, 6, func() {})
+	}()
+}
+
+// TestEngineWindowMigration pins the far-heap-to-bucket migration: events
+// beyond the calendar window must dispatch in exact (when, seq) order
+// relative to near events, including same-cycle FIFO across the boundary.
+func TestEngineWindowMigration(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Far event first (goes to overflow heap), then near events, then
+	// another far event at the same cycle as the first: seq order must
+	// hold at that cycle after migration.
+	e.At(Cycle(3*numBuckets), func() { order = append(order, 0) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(Cycle(3*numBuckets), func() { order = append(order, 2) })
+	e.At(Cycle(3*numBuckets)+1, func() { order = append(order, 3) })
+	e.Run(0)
+	want := []int{1, 0, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}

@@ -20,15 +20,22 @@ func splitMix64(state *uint64) uint64 {
 // NewRNG returns a generator seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator in place to the state NewRNG(seed) would
+// produce, without allocating. Hot paths that need a fresh content-keyed
+// stream per operation (e.g. per-write iteration draws) reuse one RNG this
+// way instead of constructing one per call.
+func (r *RNG) Reseed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&st)
 	}
-	// xoshiro must not start from the all-zero state.
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9E3779B97F4A7C15
 	}
-	return r
 }
 
 // Derive returns a new independent stream keyed by label. Components use

@@ -1,0 +1,54 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestRunWorkloadDeterministic is the cross-check behind the repo's
+// bit-identical-output guarantee: two completely independent Systems
+// built from the same configuration must agree on every result field —
+// including pooled-object hot paths (event queue, profiles, plans,
+// grants, store pages), whose reuse order must never leak into results.
+func TestRunWorkloadDeterministic(t *testing.T) {
+	cfgs := []func() sim.Config{
+		func() sim.Config {
+			cfg := sim.DefaultConfig()
+			cfg.Scheme = sim.SchemeGCPIPM
+			cfg.InstrPerCore = 20000
+			return cfg
+		},
+		func() sim.Config {
+			cfg := sim.DefaultConfig()
+			cfg.Scheme = sim.SchemeGCPIPMMR
+			cfg.WriteCancellation = true
+			cfg.WritePausing = true
+			cfg.InstrPerCore = 20000
+			return cfg
+		},
+		func() sim.Config {
+			cfg := sim.DefaultConfig()
+			cfg.Scheme = sim.SchemeIdeal
+			cfg.InstrPerCore = 20000
+			return cfg
+		},
+	}
+	for _, mk := range cfgs {
+		for _, wl := range []string{"mcf_m", "mix_1"} {
+			a, err := RunWorkload(mk(), wl)
+			if err != nil {
+				t.Fatalf("%s: %v", wl, err)
+			}
+			b, err := RunWorkload(mk(), wl)
+			if err != nil {
+				t.Fatalf("%s: %v", wl, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: two identical runs diverged:\n  first:  %+v\n  second: %+v",
+					wl, a.Scheme, a, b)
+			}
+		}
+	}
+}

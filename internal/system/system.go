@@ -9,6 +9,7 @@ package system
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"fpb/internal/cache"
 	"fpb/internal/cpu"
@@ -104,14 +105,102 @@ func Build(cfg sim.Config, wl workload.Workload) (*System, error) {
 	for i, prof := range wl.Cores {
 		coreRNG := root.Derive(uint64(1000 + i))
 		gen := workload.NewGenerator(prof, &s.Cfg, i, coreRNG.Derive(1))
-		hier := cache.NewHierarchy(&s.Cfg)
-		prefill(hier, gen, prof)
+		hier := prefilledHierarchy(&s.Cfg, gen, prof)
 		mut := workload.NewMutator(prof.Value, coreRNG.Derive(2))
 		core := cpu.New(i, eng, &s.Cfg, hier, gen, mut, mc, func(*cpu.Core) { s.finished++ })
 		s.Cores = append(s.Cores, core)
 		s.gens = append(s.gens, gen)
 	}
 	return s, nil
+}
+
+// prefillKey captures everything prefill reads: the generator's region
+// layout and cursors (which the insert set and the shuffle seed are pure
+// functions of), the profile's access-mix rates, and the full cache
+// geometry. Two cores with equal keys get byte-identical prefilled
+// hierarchies, so the result can be snapshotted and cloned instead of
+// re-running the multi-hundred-thousand-access warm-up — by far the
+// largest cost of building a system — once per (workload, scheme) pair.
+type prefillKey struct {
+	rStart, wStart, span uint64
+	rCur, wCur           uint64
+	hotStart, hotSpan    uint64
+	rpki, wpki           float64
+	l1KB, l1Line, l1Ways int
+	l2KB, l2Line, l2Ways int
+	l3MB, l3Line, l3Ways int
+}
+
+// maxPrefillSnapshots bounds the snapshot cache. Each snapshot holds deep
+// copies of one core's cache metadata (~4 MB at the default 32 MB L3), so
+// the bound caps the cache near half a gigabyte — sized to hold every
+// distinct (profile, core-slot) pair of a full figure sweep at the default
+// geometry without evicting.
+const maxPrefillSnapshots = 128
+
+var prefillSnapshots struct {
+	sync.Mutex
+	m     map[prefillKey]*prefillSnapshot
+	stamp uint64
+}
+
+type prefillSnapshot struct {
+	hier *cache.Hierarchy
+	used uint64
+}
+
+// prefilledHierarchy returns a freshly prefilled hierarchy for the core,
+// serving it from the snapshot cache when an identical warm-up has already
+// run (the usual case: every scheme of a figure re-simulates the same
+// workloads). Cached or computed, the returned hierarchy is bit-identical —
+// prefill is a pure function of prefillKey — and exclusively owned by the
+// caller.
+func prefilledHierarchy(cfg *sim.Config, gen *workload.Generator, prof workload.CoreProfile) *cache.Hierarchy {
+	rStart, _ := gen.StreamReadRegion()
+	wStart, _ := gen.StreamWriteRegion()
+	hotStart, hotSpan := gen.HotRegion()
+	k := prefillKey{
+		rStart: rStart, wStart: wStart, span: gen.SpanLines(),
+		rCur: gen.ReadCursor(), wCur: gen.WriteCursor(),
+		hotStart: hotStart, hotSpan: hotSpan,
+		rpki: prof.RPKI, wpki: prof.WPKI,
+		l1KB: cfg.L1SizeKB, l1Line: cfg.L1LineB, l1Ways: cfg.L1Ways,
+		l2KB: cfg.L2SizeKB, l2Line: cfg.L2LineB, l2Ways: cfg.L2Ways,
+		l3MB: cfg.L3SizeMB, l3Line: cfg.L3LineB, l3Ways: cfg.L3Ways,
+	}
+	c := &prefillSnapshots
+	c.Lock()
+	if e, ok := c.m[k]; ok {
+		c.stamp++
+		e.used = c.stamp
+		h := e.hier.Clone(cfg)
+		c.Unlock()
+		return h
+	}
+	c.Unlock()
+
+	h := cache.NewHierarchy(cfg)
+	prefill(h, gen, prof)
+
+	c.Lock()
+	if c.m == nil {
+		c.m = make(map[prefillKey]*prefillSnapshot)
+	}
+	if len(c.m) >= maxPrefillSnapshots {
+		var oldest prefillKey
+		var oldestUsed uint64 = ^uint64(0)
+		for kk, e := range c.m {
+			if e.used < oldestUsed {
+				oldestUsed = e.used
+				oldest = kk
+			}
+		}
+		delete(c.m, oldest)
+	}
+	c.stamp++
+	c.m[k] = &prefillSnapshot{hier: h.Clone(cfg), used: c.stamp}
+	c.Unlock()
+	return h
 }
 
 // prefill warms one core's caches to the measurement steady state
@@ -318,6 +407,15 @@ func BuildFromSources(cfg sim.Config, sources []trace.Source, classes []workload
 	return s, nil
 }
 
+// Release returns per-core cache metadata to the allocation pool. Call only
+// when done with the system (after Run + metric collection); the system must
+// not be used afterwards.
+func (s *System) Release() {
+	for _, c := range s.Cores {
+		c.Hierarchy().Release()
+	}
+}
+
 // RunWorkload is the one-call helper most experiments use: build and run
 // the named workload under the configuration.
 func RunWorkload(cfg sim.Config, name string) (Result, error) {
@@ -331,6 +429,7 @@ func RunWorkload(cfg sim.Config, name string) (Result, error) {
 	}
 	res := sys.Run()
 	res.Workload = name
+	sys.Release()
 	return res, nil
 }
 

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by test files across packages.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race. Allocation
+// guards (testing.AllocsPerRun) skip under the race detector, which adds
+// bookkeeping allocations the production build does not have.
+const RaceEnabled = false

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Perf-regression harness: run the repo's benchmarks and write a
+# deterministic JSON snapshot (sorted keys, normalized names) named after
+# the current revision. Optionally compare against a baseline snapshot.
+#
+# Usage:
+#   scripts/bench.sh [-quick] [-out FILE] [-baseline FILE]
+#
+#   -quick      microbenchmark subset only (seconds, for CI smoke); the
+#               default also runs the Fig. 18 end-to-end benchmark.
+#   -out FILE   snapshot path (default BENCH_<rev>.json in the repo root)
+#   -baseline FILE
+#               after measuring, run `fpbbench -compare` against FILE.
+#               Regressions are reported but do not fail the script
+#               (CI treats them as warnings; pass judgement in review).
+set -eu
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT=""
+BASELINE=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -quick) QUICK=1 ;;
+    -out)
+        OUT="$2"
+        shift
+        ;;
+    -baseline)
+        BASELINE="$2"
+        shift
+        ;;
+    *)
+        echo "usage: $0 [-quick] [-out FILE] [-baseline FILE]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+REV=$(git rev-parse --short HEAD 2>/dev/null || echo workdir)
+if ! git diff --quiet 2>/dev/null; then
+    REV="${REV}-dirty"
+fi
+[ -n "$OUT" ] || OUT="BENCH_${REV}.json"
+
+# Hot-path microbenchmarks: sim kernel, profile build, power manager,
+# cache, dispatch guards.
+MICRO='BenchmarkEngineScheduleAndRun|BenchmarkProfileBuild|BenchmarkDiffCells256B|BenchmarkTryAcquireRelease|BenchmarkCacheAccess|BenchmarkHierarchyAccess|BenchmarkDispatch'
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$MICRO" -benchmem \
+    ./internal/sim/ ./internal/pcm/ ./internal/power/ ./internal/cache/ ./internal/obs/ |
+    tee "$RAW"
+
+if [ "$QUICK" -eq 0 ]; then
+    # End-to-end throughput benchmark (the tentpole target). One iteration
+    # is enough: the simulation itself is deterministic and long.
+    go test -run '^$' -bench 'BenchmarkFig18Throughput' -benchtime 1x -benchmem . |
+        tee -a "$RAW"
+fi
+
+go run ./cmd/fpbbench -out "$OUT" <"$RAW"
+echo "wrote $OUT"
+
+if [ -n "$BASELINE" ]; then
+    go run ./cmd/fpbbench -compare -threshold 0.20 "$BASELINE" "$OUT"
+fi

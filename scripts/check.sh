@@ -12,3 +12,6 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# fpbdebug swaps in the Store.Get aliasing guard; run the packages that
+# exercise it so the debug build stays green.
+go test -tags fpbdebug ./internal/pcm/ ./internal/mem/
