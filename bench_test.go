@@ -47,7 +47,10 @@ func runExperiment(b *testing.B, id string) {
 	}
 	r := sharedRunner()
 	for i := 0; i < b.N; i++ {
-		tb := e.Run(r)
+		tb, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			last := tb.Row(tb.NumRows() - 1)
 			cols := tb.Columns

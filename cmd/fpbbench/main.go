@@ -15,6 +15,18 @@
 // nonzero for regressions only with -strict, so CI can surface warnings
 // without failing the build.
 //
+// Scale mode measures how the parallel simulation engine scales with cores:
+//
+//	fpbbench -cpus 1,2,4,8 [-shards 64] [-instr 20000] [-workloads mcf_m,mix_1]
+//
+// It runs the Figure 18 experiment in-process once per GOMAXPROCS value
+// (one simulation at a time, so the only parallelism measured is the
+// sharded engine's) and prints one benchmark-formatted line per cpu count
+// with the wall time and the speedup over the first value — ready to pipe
+// into ingest mode or append to raw `go test -bench` output. Every run's
+// table must be identical; any divergence across cpu counts is a
+// determinism bug and exits nonzero.
+//
 // Snapshots are deterministic: benchmark names are normalized (Benchmark
 // prefix and -GOMAXPROCS suffix stripped) and JSON object keys are sorted,
 // so identical measurements produce byte-identical files.
@@ -27,9 +39,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"fpb/internal/exp"
+	"fpb/internal/sim"
 )
 
 // Snapshot is the on-disk format: benchmark name → metric name → value.
@@ -44,8 +61,20 @@ func main() {
 		compare   = flag.Bool("compare", false, "compare two snapshot files given as arguments")
 		threshold = flag.Float64("threshold", 0.20, "relative ns/op or allocs/op growth treated as a regression")
 		strict    = flag.Bool("strict", false, "exit nonzero when compare finds regressions")
+		cpus      = flag.String("cpus", "", "comma-separated GOMAXPROCS values: run the Fig. 18 scaling measurement at each")
+		shards    = flag.Int("shards", 0, "parallel engine shards for -cpus runs (0 = one per bank lane)")
+		instr     = flag.Uint64("instr", 20_000, "instructions per core for -cpus runs")
+		workloads = flag.String("workloads", "", "comma-separated workload subset for -cpus runs (default: all 13)")
 	)
 	flag.Parse()
+
+	if *cpus != "" {
+		if err := runScale(os.Stdout, *cpus, *shards, *instr, *workloads); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -86,6 +115,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fpbbench:", err)
 		os.Exit(2)
 	}
+}
+
+// runScale measures wall-clock scaling of the parallel engine: the Figure
+// 18 experiment once per GOMAXPROCS value, single-simulation workers so the
+// sharded engine is the only source of parallelism. Results must be
+// identical across cpu counts (they are also bit-identical to sequential
+// execution; internal/system's determinism matrix test enforces that side).
+// Lines are benchmark-formatted so ingest mode and bench.sh parse them like
+// any other benchmark.
+func runScale(w io.Writer, cpuList string, shards int, instr uint64, workloads string) error {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	if shards == 0 {
+		cfg := sim.DefaultConfig()
+		shards = cfg.Lanes()
+	}
+	e, ok := exp.ByID("fig18")
+	if !ok {
+		return fmt.Errorf("fig18 experiment not registered")
+	}
+	opt := exp.Options{InstrPerCore: instr, Workers: 1, Shards: shards}
+	if workloads != "" {
+		opt.Workloads = strings.Split(workloads, ",")
+	}
+	// Untimed warm-up: workload tables, allocator arenas and the page
+	// cache are one-time costs that would otherwise all land on the first
+	// cpu count and masquerade as scaling.
+	if _, err := e.Run(exp.NewRunner(opt)); err != nil {
+		return err
+	}
+	var refTable string
+	var base time.Duration
+	for _, field := range strings.Split(cpuList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -cpus value %q", field)
+		}
+		runtime.GOMAXPROCS(n)
+		start := time.Now()
+		// A fresh runner per cpu count: nothing may be served from a
+		// previous run's memoization.
+		tb, err := e.Run(exp.NewRunner(opt))
+		if err != nil {
+			return fmt.Errorf("cpus=%d: %w", n, err)
+		}
+		elapsed := time.Since(start)
+		if refTable == "" {
+			refTable, base = tb.String(), elapsed
+		} else if tb.String() != refTable {
+			return fmt.Errorf("cpus=%d: results diverged from the first cpu count — determinism bug", n)
+		}
+		fmt.Fprintf(w, "BenchmarkFig18Scale/cpus=%d/shards=%d \t1\t%d ns/op\t%.3f speedup\n",
+			n, shards, elapsed.Nanoseconds(), float64(base)/float64(elapsed))
+	}
+	return nil
 }
 
 // metricKey normalizes a `go test -bench` unit to a JSON-friendly key.

@@ -44,6 +44,7 @@ func main() {
 		out       = flag.String("out", "", "also append results to this file")
 		bars      = flag.Bool("bars", false, "also render each result column as an ASCII bar chart")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS); with -remote, in-flight requests")
+		shards    = flag.Int("shards", 0, "parallel engine shards per simulation (0 = sequential; results are bit-identical)")
 		remote    = flag.String("remote", "", "offload simulations to an fpbd daemon at this address (host:port)")
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -95,7 +96,7 @@ func main() {
 		return
 	}
 
-	opt := exp.Options{InstrPerCore: *instr, MetricsDir: *metricsDir, Workers: *workers}
+	opt := exp.Options{InstrPerCore: *instr, MetricsDir: *metricsDir, Workers: *workers, Shards: *shards}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
@@ -134,7 +135,11 @@ func main() {
 
 	for _, e := range toRun {
 		start := time.Now()
-		table := e.Run(runner)
+		table, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpbexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(w, "## %s\n\n", e.Title)
 		fmt.Fprintf(w, "Paper: %s\n\n", e.Paper)
 		fmt.Fprintln(w, table.String())

@@ -22,7 +22,7 @@ func init() {
 	})
 }
 
-func runAblGCPSize(r *Runner) *stats.Table {
+func runAblGCPSize(r *Runner) (*stats.Table, error) {
 	mk := func(label string, scale float64) Variant {
 		return Variant{
 			Label: label,
@@ -55,7 +55,7 @@ func init() {
 	})
 }
 
-func runAblHalfStripe(r *Runner) *stats.Table {
+func runAblHalfStripe(r *Runner) (*stats.Table, error) {
 	mk := func(label string, scheme sim.Scheme, half bool) Variant {
 		return Variant{
 			Label: label,
@@ -90,7 +90,7 @@ func init() {
 	})
 }
 
-func runAblMRTrigger(r *Runner) *stats.Table {
+func runAblMRTrigger(r *Runner) (*stats.Table, error) {
 	mk := func(label string, always bool) Variant {
 		return Variant{
 			Label: label,
@@ -122,7 +122,7 @@ func init() {
 	})
 }
 
-func runAblSetRatio(r *Runner) *stats.Table {
+func runAblSetRatio(r *Runner) (*stats.Table, error) {
 	ratios := []float64{0.25, 0.5, 0.75}
 	variants := make([]Variant, 0, len(ratios))
 	for _, ratio := range ratios {
@@ -155,12 +155,17 @@ func runAblSetRatio(r *Runner) *stats.Table {
 		techs[i] = r.cfgOf(variants[i])
 		cfgs = append(cfgs, b, techs[i])
 	}
-	r.Prewarm(cfgs, r.Opt().Workloads)
+	if err := r.Prewarm(cfgs, r.Opt().Workloads); err != nil {
+		return nil, err
+	}
 	perCol := make([][]float64, len(ratios))
 	for _, wl := range r.Opt().Workloads {
 		row := make([]float64, 0, len(ratios))
 		for i := range ratios {
-			s := speedupOf(r, bases[i], techs[i], wl)
+			s, err := speedupOf(r, bases[i], techs[i], wl)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, s)
 			perCol[i] = append(perCol[i], s)
 		}
@@ -171,5 +176,5 @@ func runAblSetRatio(r *Runner) *stats.Table {
 		g[i] = stats.GeoMean(perCol[i])
 	}
 	t.AddRow("gmean", g...)
-	return t
+	return t, nil
 }

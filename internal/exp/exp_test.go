@@ -49,7 +49,10 @@ func TestOptionsDefaults(t *testing.T) {
 func TestFig2TableShape(t *testing.T) {
 	r := NewRunner(Options{InstrPerCore: 10_000})
 	e, _ := ByID("fig2")
-	tb := e.Run(r)
+	tb, err := e.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tb.NumRows() != len(fig2Workloads)+1 { // + gmean
 		t.Fatalf("fig2 rows = %d, want %d", tb.NumRows(), len(fig2Workloads)+1)
 	}
@@ -64,7 +67,10 @@ func TestFig2TableShape(t *testing.T) {
 func TestFig2MLCBelowSLCAndSizeMonotone(t *testing.T) {
 	r := NewRunner(Options{InstrPerCore: 10_000})
 	e, _ := ByID("fig2")
-	tb := e.Run(r)
+	tb, err := e.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Columns: workload, 256B-mlc, 256B-slc, 128B-mlc, 128B-slc, 64B-mlc, 64B-slc
 	for i := 0; i < tb.NumRows(); i++ {
 		row := tb.Row(i)
@@ -96,8 +102,11 @@ func atof(t *testing.T, s string) float64 {
 func TestRunnerMemoizes(t *testing.T) {
 	r := NewRunner(Options{InstrPerCore: 5_000, Workloads: []string{"xal_m"}})
 	cfg := r.BaseConfig()
-	a := r.Run(cfg, "xal_m")
-	b := r.Run(cfg, "xal_m")
+	a, aerr := r.Run(cfg, "xal_m")
+	b, berr := r.Run(cfg, "xal_m")
+	if aerr != nil || berr != nil {
+		t.Fatal(aerr, berr)
+	}
 	// Result holds a metrics map, so compare representative scalars.
 	if a.Cycles != b.Cycles || a.Writes != b.Writes || a.CPI != b.CPI ||
 		len(a.Metrics) != len(b.Metrics) {
@@ -117,7 +126,10 @@ func TestSmallFigureRuns(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		tb := e.Run(r)
+		tb, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
 		if tb.NumRows() == 0 {
 			t.Errorf("%s produced an empty table", id)
 		}
@@ -132,7 +144,10 @@ func TestFig15TableShape(t *testing.T) {
 	}
 	r := NewRunner(Options{InstrPerCore: 8_000})
 	e, _ := ByID("fig15")
-	tb := e.Run(r)
+	tb, err := e.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tb.NumRows() != 7 { // efficiencies 0.7 .. 0.1
 		t.Fatalf("fig15 rows = %d, want 7", tb.NumRows())
 	}
@@ -159,8 +174,11 @@ func TestSweepNormalizationUsesSameX(t *testing.T) {
 		t.Skip("simulation-backed")
 	}
 	r := NewRunner(Options{InstrPerCore: 8_000, Workloads: []string{"xal_m"}})
-	tb := sweepTable(r, "degenerate", []string{"x"},
+	tb, err := sweepTable(r, "degenerate", []string{"x"},
 		func(c *sim.Config, i int) { fpbRevert(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := atof(t, tb.Row(0)[1])
 	if got != 1 {
 		t.Errorf("self-normalized speedup = %g, want exactly 1 (memoized identical configs)", got)
@@ -184,7 +202,10 @@ func TestFig4OrderingAtSmallScale(t *testing.T) {
 	}
 	r := NewRunner(Options{InstrPerCore: 20_000, Workloads: []string{"mcf_m", "lbm_m"}})
 	e, _ := ByID("fig4")
-	tb := e.Run(r)
+	tb, err := e.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// gmean row: columns Ideal, DIMM-only, DIMM+chip, ...
 	g := tb.Row(tb.NumRows() - 1)
 	ideal, dimmOnly, dimmChip := atof(t, g[1]), atof(t, g[2]), atof(t, g[3])

@@ -26,19 +26,19 @@ var fig2Workloads = []string{"bwa_m", "lbm_m", "mcf_m", "xal_m", "mum_m", "tig_m
 
 const fig2WritesPerSample = 300
 
-func runFig2(r *Runner) *stats.Table {
+func runFig2(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 2: average cell changes per line write",
 		"workload", "256B-mlc", "256B-slc", "128B-mlc", "128B-slc", "64B-mlc", "64B-slc")
 	lineSizes := []int{256, 128, 64}
 
-	sample := func(names []string) []float64 {
+	sample := func(names []string) ([]float64, error) {
 		cells := make([]float64, 0, 6)
 		for _, lineB := range lineSizes {
 			var mlc, slc stats.Summary
 			for _, name := range names {
 				wl, err := workload.ByName(name, 8)
 				if err != nil {
-					panic(err)
+					return nil, err
 				}
 				// One mutator per distinct profile in the mix.
 				seen := map[string]bool{}
@@ -66,7 +66,7 @@ func runFig2(r *Runner) *stats.Table {
 			}
 			cells = append(cells, mlc.Mean(), slc.Mean())
 		}
-		return cells
+		return cells, nil
 	}
 
 	var perCol [][]float64
@@ -75,7 +75,10 @@ func runFig2(r *Runner) *stats.Table {
 		if name == "other" {
 			names = []string{"ast_m", "les_m", "qso_m", "cop_m", "mix_1", "mix_2", "mix_3"}
 		}
-		row := sample(names)
+		row, err := sample(names)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(name, row...)
 		for i, v := range row {
 			if i >= len(perCol) {
@@ -89,5 +92,5 @@ func runFig2(r *Runner) *stats.Table {
 		g[i] = stats.GeoMean(perCol[i])
 	}
 	t.AddRow("gmean", g...)
-	return t
+	return t, nil
 }

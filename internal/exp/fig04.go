@@ -19,7 +19,7 @@ func init() {
 	})
 }
 
-func runFig4(r *Runner) *stats.Table {
+func runFig4(r *Runner) (*stats.Table, error) {
 	norm := Variant{Label: "Ideal", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeIdeal }}
 	variants := []Variant{
 		{Label: "Ideal", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeIdeal }},
@@ -66,7 +66,7 @@ func init() {
 	})
 }
 
-func runFig10(r *Runner) *stats.Table {
+func runFig10(r *Runner) (*stats.Table, error) {
 	base := Variant{Label: "burst-fraction", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeDIMMChip }}
 	return r.MetricTable("Figure 10: fraction of execution cycles in write burst",
 		[]Variant{base},

@@ -33,7 +33,7 @@ func init() {
 	})
 }
 
-func runFig11(r *Runner) *stats.Table {
+func runFig11(r *Runner) (*stats.Table, error) {
 	variants := []Variant{
 		{Label: "DIMM-only", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeDIMMOnly }},
 		gcpVariant(sim.MapNaive, 0.95),
@@ -54,7 +54,7 @@ func init() {
 	})
 }
 
-func runFig12(r *Runner) *stats.Table {
+func runFig12(r *Runner) (*stats.Table, error) {
 	variants := []Variant{
 		gcpVariant(sim.MapNaive, 0.70),
 		gcpVariant(sim.MapVIM, 0.70),
@@ -88,7 +88,7 @@ func init() {
 	})
 }
 
-func runFig13(r *Runner) *stats.Table {
+func runFig13(r *Runner) (*stats.Table, error) {
 	// The pump-sizing criterion is the largest single chip segment the
 	// GCP ever powered: the hot-chip shortfall the cell mapping leaves
 	// behind, which a smaller pump could not have covered.
@@ -110,7 +110,7 @@ func init() {
 	})
 }
 
-func runFig14(r *Runner) *stats.Table {
+func runFig14(r *Runner) (*stats.Table, error) {
 	return r.MetricTable("Figure 14: average GCP output tokens requested per line write",
 		fig13Variants(),
 		func(res systemResult) float64 { return res.AvgGCPTokens },
@@ -128,7 +128,7 @@ func init() {
 	})
 }
 
-func runFig15(r *Runner) *stats.Table {
+func runFig15(r *Runner) (*stats.Table, error) {
 	effs := []float64{0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
 	wls := []string{"ast_m", "mcf_m", "mix_1"}
 	cols := []string{"efficiency"}
@@ -140,22 +140,34 @@ func runFig15(r *Runner) *stats.Table {
 	for _, e := range effs {
 		cfgs = append(cfgs, r.cfgOf(gcpVariant(sim.MapBIM, e)))
 	}
-	r.Prewarm(cfgs, wls)
+	if err := r.Prewarm(cfgs, wls); err != nil {
+		return nil, err
+	}
 	for _, e := range effs {
 		row := make([]float64, 0, len(wls))
 		for _, wl := range wls {
-			row = append(row, speedupOf(r, base, r.cfgOf(gcpVariant(sim.MapBIM, e)), wl))
+			s, err := speedupOf(r, base, r.cfgOf(gcpVariant(sim.MapBIM, e)), wl)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, s)
 		}
 		t.AddRow(fmt.Sprintf("%.1f", e), row...)
 	}
-	return t
+	return t, nil
 }
 
-func speedupOf(r *Runner, base, tech sim.Config, wl string) float64 {
-	b := r.Run(base, wl)
-	v := r.Run(tech, wl)
-	if v.CPI == 0 {
-		return 0
+func speedupOf(r *Runner, base, tech sim.Config, wl string) (float64, error) {
+	b, err := r.Run(base, wl)
+	if err != nil {
+		return 0, err
 	}
-	return b.CPI / v.CPI
+	v, err := r.Run(tech, wl)
+	if err != nil {
+		return 0, err
+	}
+	if v.CPI == 0 {
+		return 0, nil
+	}
+	return b.CPI / v.CPI, nil
 }

@@ -36,14 +36,17 @@ func init() {
 	})
 }
 
-func runFig16(r *Runner) *stats.Table {
+func runFig16(r *Runner) (*stats.Table, error) {
 	variants := []Variant{
 		fpbVariant("GCP-BIM", sim.SchemeGCP, 0.70, 0),
 		fpbVariant("IPM", sim.SchemeGCPIPM, 0.70, 0),
 		fpbVariant("IPM+MR", sim.SchemeGCPIPMMR, 0.70, 3),
 		{Label: "Ideal", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeIdeal }},
 	}
-	t := r.SpeedupTable("Figure 16: IPM and Multi-RESET speedup vs DIMM+chip", dimmChip, variants)
+	t, err := r.SpeedupTable("Figure 16: IPM and Multi-RESET speedup vs DIMM+chip", dimmChip, variants)
+	if err != nil {
+		return nil, err
+	}
 
 	// gm0.5 / gm0.3 rows: geometric means with reduced GCP efficiency.
 	for _, eff := range []float64{0.5, 0.3} {
@@ -57,18 +60,24 @@ func runFig16(r *Runner) *stats.Table {
 		for _, v := range lowVariants {
 			cfgs = append(cfgs, r.cfgOf(v))
 		}
-		r.Prewarm(append(cfgs, r.cfgOf(dimmChip)), r.Opt().Workloads)
+		if err := r.Prewarm(append(cfgs, r.cfgOf(dimmChip)), r.Opt().Workloads); err != nil {
+			return nil, err
+		}
 		gms := make([]float64, len(lowVariants))
 		for i, v := range lowVariants {
 			var ss []float64
 			for _, wl := range r.Opt().Workloads {
-				ss = append(ss, speedupOf(r, r.cfgOf(dimmChip), r.cfgOf(v), wl))
+				s, err := speedupOf(r, r.cfgOf(dimmChip), r.cfgOf(v), wl)
+				if err != nil {
+					return nil, err
+				}
+				ss = append(ss, s)
 			}
 			gms[i] = stats.GeoMean(ss)
 		}
 		t.AddRow(fmt.Sprintf("gm%.1f", eff), gms...)
 	}
-	return t
+	return t, nil
 }
 
 // Figure 17: how many sub-RESETs Multi-RESET should split into. The paper
@@ -82,7 +91,7 @@ func init() {
 	})
 }
 
-func runFig17(r *Runner) *stats.Table {
+func runFig17(r *Runner) (*stats.Table, error) {
 	variants := []Variant{
 		fpbVariant("IPM+MR2", sim.SchemeGCPIPMMR, 0.70, 2),
 		fpbVariant("IPM+MR3", sim.SchemeGCPIPMMR, 0.70, 3),
@@ -102,7 +111,7 @@ func init() {
 	})
 }
 
-func runFig18(r *Runner) *stats.Table {
+func runFig18(r *Runner) (*stats.Table, error) {
 	variants := []Variant{
 		fpbVariant("GCP", sim.SchemeGCP, 0.70, 0),
 		fpbVariant("GCP+IPM", sim.SchemeGCPIPM, 0.70, 0),
@@ -113,7 +122,9 @@ func runFig18(r *Runner) *stats.Table {
 	for _, v := range variants {
 		cfgs = append(cfgs, r.cfgOf(v))
 	}
-	r.Prewarm(append(cfgs, r.cfgOf(dimmChip)), r.Opt().Workloads)
+	if err := r.Prewarm(append(cfgs, r.cfgOf(dimmChip)), r.Opt().Workloads); err != nil {
+		return nil, err
+	}
 
 	cols := []string{"workload"}
 	for _, v := range variants {
@@ -122,10 +133,16 @@ func runFig18(r *Runner) *stats.Table {
 	t := stats.NewTable("Figure 18: write throughput normalized to DIMM+chip", cols...)
 	perVariant := make([][]float64, len(variants))
 	for _, wl := range r.Opt().Workloads {
-		base := r.Run(r.cfgOf(dimmChip), wl)
+		base, err := r.Run(r.cfgOf(dimmChip), wl)
+		if err != nil {
+			return nil, err
+		}
 		row := make([]float64, 0, len(variants))
 		for i, v := range variants {
-			res := r.Run(r.cfgOf(v), wl)
+			res, err := r.Run(r.cfgOf(v), wl)
+			if err != nil {
+				return nil, err
+			}
 			n := 0.0
 			if base.WriteThroughput > 0 {
 				n = res.WriteThroughput / base.WriteThroughput
@@ -140,5 +157,5 @@ func runFig18(r *Runner) *stats.Table {
 		g[i] = stats.GeoMean(perVariant[i])
 	}
 	t.AddRow("gmean", g...)
-	return t
+	return t, nil
 }

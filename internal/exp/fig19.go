@@ -20,7 +20,7 @@ func fpbFull(c *sim.Config) {
 // value X, FPB and DIMM+chip are both run at X and the speedup is FPB(X) /
 // DIMM+chip(X) — "each bar is normalized to DIMM+chip that has the same X
 // value".
-func sweepTable(r *Runner, title string, labels []string, apply func(*sim.Config, int)) *stats.Table {
+func sweepTable(r *Runner, title string, labels []string, apply func(*sim.Config, int)) (*stats.Table, error) {
 	cols := []string{"workload"}
 	cols = append(cols, labels...)
 	t := stats.NewTable(title, cols...)
@@ -39,13 +39,18 @@ func sweepTable(r *Runner, title string, labels []string, apply func(*sim.Config
 		fpbCfgs[i] = f
 		cfgs = append(cfgs, b, f)
 	}
-	r.Prewarm(cfgs, r.Opt().Workloads)
+	if err := r.Prewarm(cfgs, r.Opt().Workloads); err != nil {
+		return nil, err
+	}
 
 	perCol := make([][]float64, len(labels))
 	for _, wl := range r.Opt().Workloads {
 		row := make([]float64, 0, len(labels))
 		for i := range labels {
-			s := speedupOf(r, baseCfgs[i], fpbCfgs[i], wl)
+			s, err := speedupOf(r, baseCfgs[i], fpbCfgs[i], wl)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, s)
 			perCol[i] = append(perCol[i], s)
 		}
@@ -56,7 +61,7 @@ func sweepTable(r *Runner, title string, labels []string, apply func(*sim.Config
 		g[i] = stats.GeoMean(perCol[i])
 	}
 	t.AddRow("gmean", g...)
-	return t
+	return t, nil
 }
 
 // Figure 19: FPB speedup for 64/128/256 B memory line sizes. Paper:
@@ -66,7 +71,7 @@ func init() {
 		ID:    "fig19",
 		Title: "Figure 19: line size sensitivity",
 		Paper: "FPB gains +41.3%/+61.8%/+75.6% for 64B/128B/256B lines",
-		Run: func(r *Runner) *stats.Table {
+		Run: func(r *Runner) (*stats.Table, error) {
 			sizes := []int{64, 128, 256}
 			return sweepTable(r, "Figure 19: FPB speedup vs DIMM+chip per line size",
 				[]string{"64B", "128B", "256B"},
@@ -82,7 +87,7 @@ func init() {
 		ID:    "fig20",
 		Title: "Figure 20: LLC capacity sensitivity",
 		Paper: "FPB gains +39.9%/+62.1%/+75.6%/+23.4% for 8/16/32/128 MB per-core LLC",
-		Run: func(r *Runner) *stats.Table {
+		Run: func(r *Runner) (*stats.Table, error) {
 			sizes := []int{8, 16, 32, 128}
 			return sweepTable(r, "Figure 20: FPB speedup vs DIMM+chip per LLC capacity",
 				[]string{"8M", "16M", "32M", "128M"},
@@ -98,7 +103,7 @@ func init() {
 		ID:    "fig21",
 		Title: "Figure 21: write queue size sensitivity",
 		Paper: "FPB gains +75.6%/+85.2%/+88.1% for 24/48/96-entry write queues; saturates at 48",
-		Run: func(r *Runner) *stats.Table {
+		Run: func(r *Runner) (*stats.Table, error) {
 			sizes := []int{24, 48, 96}
 			return sweepTable(r, "Figure 21: FPB speedup vs DIMM+chip per write queue size",
 				[]string{"24", "48", "96"},
@@ -114,7 +119,7 @@ func init() {
 		ID:    "fig22",
 		Title: "Figure 22: power token budget sensitivity",
 		Paper: "FPB's advantage grows as the token budget tightens (466 > 532 > 598 relative gains)",
-		Run: func(r *Runner) *stats.Table {
+		Run: func(r *Runner) (*stats.Table, error) {
 			tokens := []float64{466, 532, 598}
 			labels := make([]string, len(tokens))
 			for i, tk := range tokens {
@@ -139,7 +144,7 @@ func init() {
 	})
 }
 
-func runFig23(r *Runner) *stats.Table {
+func runFig23(r *Runner) (*stats.Table, error) {
 	bigQueues := func(c *sim.Config) {
 		c.ReadQueueEntries = 320
 		c.WriteQueueEntries = 320

@@ -52,6 +52,10 @@ type Options struct {
 	Workers int
 	// Backend overrides how simulations run; nil means in-process.
 	Backend Backend
+	// Shards selects the parallel simulation engine for every in-process
+	// run (sim.Config.Shards). Results are bit-identical to sequential
+	// execution, so it only changes wall-clock time, never a figure.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -64,14 +68,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Experiment is one reproducible table/figure.
+// Experiment is one reproducible table/figure. Run returns an error when a
+// simulation backend fails (e.g. a remote fpbd daemon becomes unreachable);
+// the table is only valid when the error is nil.
 type Experiment struct {
 	ID    string
 	Title string
 	// Paper summarizes the result the paper reports for this experiment
 	// (used by EXPERIMENTS.md generation).
 	Paper string
-	Run   func(r *Runner) *stats.Table
+	Run   func(r *Runner) (*stats.Table, error)
 }
 
 // Runner executes simulations with memoization; experiments share it so
@@ -91,10 +97,14 @@ type key struct {
 }
 
 // entry is one memoized simulation; once makes concurrent first callers
-// collapse onto a single execution.
+// collapse onto a single execution. A failed execution memoizes its error
+// the same way a successful one memoizes its result: the backend already
+// got a retry (see Run), so hammering it with every downstream read of the
+// same pair would only amplify the outage.
 type entry struct {
 	once sync.Once
 	res  system.Result
+	err  error
 }
 
 // NewRunner builds a runner for the options, creating MetricsDir if set.
@@ -116,13 +126,19 @@ func (r *Runner) Opt() Options { return r.opt }
 func (r *Runner) BaseConfig() sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.InstrPerCore = r.opt.InstrPerCore
+	cfg.Shards = r.opt.Shards
 	return cfg
 }
 
 // Run simulates one (config, workload) pair, memoized. Concurrent calls
 // with an identical pair block on one shared simulation; every other pair
 // proceeds in parallel.
-func (r *Runner) Run(cfg sim.Config, wl string) system.Result {
+//
+// A backend failure is retried once (remote daemons drop requests across
+// restarts; the retry absorbs exactly that class of transient), then
+// memoized and returned with the workload and scheme in the error chain so
+// the caller can tell which simulation of a figure died.
+func (r *Runner) Run(cfg sim.Config, wl string) (system.Result, error) {
 	k := key{cfg: cfg, wl: wl}
 	r.mu.Lock()
 	e, ok := r.cache[k]
@@ -138,7 +154,11 @@ func (r *Runner) Run(cfg sim.Config, wl string) system.Result {
 		}
 		res, err := run(cfg, wl)
 		if err != nil {
-			panic(fmt.Sprintf("exp: running %s: %v", wl, err)) // configs are code, not input
+			res, err = run(cfg, wl) // retry once
+		}
+		if err != nil {
+			e.err = fmt.Errorf("exp: running %s (scheme %v): %w", wl, cfg.Scheme, err)
+			return
 		}
 		r.dumpMetrics(cfg, wl, res)
 		r.mu.Lock()
@@ -146,7 +166,7 @@ func (r *Runner) Run(cfg sim.Config, wl string) system.Result {
 		r.mu.Unlock()
 		e.res = res
 	})
-	return e.res
+	return e.res, e.err
 }
 
 // Simulations reports how many simulations actually executed (cache misses);
@@ -184,14 +204,21 @@ func (r *Runner) dumpMetrics(cfg sim.Config, wl string, res system.Result) {
 
 // Prewarm runs all (config, workload) combinations in parallel, bounded by
 // Options.Workers (GOMAXPROCS when unset), so subsequent Run calls hit the
-// cache.
-func (r *Runner) Prewarm(cfgs []sim.Config, wls []string) {
+// cache. It returns the first simulation error (the rest of the batch still
+// completes, so every surviving pair is warm).
+//
+// The semaphore is acquired inside the worker goroutine: the dispatch loop
+// itself never blocks on a slot, so already-cached pairs are skipped
+// immediately even while slow simulations hold every slot.
+func (r *Runner) Prewarm(cfgs []sim.Config, wls []string) error {
 	workers := r.opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
 	for _, cfg := range cfgs {
 		for _, wl := range wls {
 			cfg, wl := cfg, wl
@@ -202,15 +229,22 @@ func (r *Runner) Prewarm(cfgs []sim.Config, wls []string) {
 				continue
 			}
 			wg.Add(1)
-			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
+				sem <- struct{}{}
 				defer func() { <-sem }()
-				r.Run(cfg, wl)
+				if _, err := r.Run(cfg, wl); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
 			}()
 		}
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // systemResult shortens metric-closure signatures in the figure files.
@@ -233,12 +267,14 @@ func (r *Runner) cfgOf(v Variant) sim.Config {
 // SpeedupTable renders per-workload speedups of each variant over the norm
 // variant (Eq. 7: CPI_norm / CPI_variant), plus a gmean row — the layout of
 // every speedup figure in the paper.
-func (r *Runner) SpeedupTable(title string, norm Variant, variants []Variant) *stats.Table {
+func (r *Runner) SpeedupTable(title string, norm Variant, variants []Variant) (*stats.Table, error) {
 	cfgs := []sim.Config{r.cfgOf(norm)}
 	for _, v := range variants {
 		cfgs = append(cfgs, r.cfgOf(v))
 	}
-	r.Prewarm(cfgs, r.opt.Workloads)
+	if err := r.Prewarm(cfgs, r.opt.Workloads); err != nil {
+		return nil, err
+	}
 
 	cols := []string{"workload"}
 	for _, v := range variants {
@@ -247,10 +283,17 @@ func (r *Runner) SpeedupTable(title string, norm Variant, variants []Variant) *s
 	t := stats.NewTable(title, cols...)
 	perVariant := make([][]float64, len(variants))
 	for _, wl := range r.opt.Workloads {
-		base := r.Run(r.cfgOf(norm), wl)
+		base, err := r.Run(r.cfgOf(norm), wl)
+		if err != nil {
+			return nil, err
+		}
 		row := make([]float64, 0, len(variants))
 		for i, v := range variants {
-			s := system.Speedup(base, r.Run(r.cfgOf(v), wl))
+			res, err := r.Run(r.cfgOf(v), wl)
+			if err != nil {
+				return nil, err
+			}
+			s := system.Speedup(base, res)
 			row = append(row, s)
 			perVariant[i] = append(perVariant[i], s)
 		}
@@ -261,7 +304,7 @@ func (r *Runner) SpeedupTable(title string, norm Variant, variants []Variant) *s
 		gmeans[i] = stats.GeoMean(perVariant[i])
 	}
 	t.AddRow("gmean", gmeans...)
-	return t
+	return t, nil
 }
 
 // MetricTable renders an arbitrary per-workload metric for each variant,
@@ -269,12 +312,14 @@ func (r *Runner) SpeedupTable(title string, norm Variant, variants []Variant) *s
 // Fig. 14).
 func (r *Runner) MetricTable(title string, variants []Variant,
 	metric func(system.Result) float64, aggLabel string,
-	agg func([]float64) float64) *stats.Table {
+	agg func([]float64) float64) (*stats.Table, error) {
 	cfgs := make([]sim.Config, 0, len(variants))
 	for _, v := range variants {
 		cfgs = append(cfgs, r.cfgOf(v))
 	}
-	r.Prewarm(cfgs, r.opt.Workloads)
+	if err := r.Prewarm(cfgs, r.opt.Workloads); err != nil {
+		return nil, err
+	}
 
 	cols := []string{"workload"}
 	for _, v := range variants {
@@ -285,7 +330,11 @@ func (r *Runner) MetricTable(title string, variants []Variant,
 	for _, wl := range r.opt.Workloads {
 		row := make([]float64, 0, len(variants))
 		for i, v := range variants {
-			m := metric(r.Run(r.cfgOf(v), wl))
+			res, err := r.Run(r.cfgOf(v), wl)
+			if err != nil {
+				return nil, err
+			}
+			m := metric(res)
 			row = append(row, m)
 			perVariant[i] = append(perVariant[i], m)
 		}
@@ -296,7 +345,7 @@ func (r *Runner) MetricTable(title string, variants []Variant,
 		aggs[i] = agg(perVariant[i])
 	}
 	t.AddRow(aggLabel, aggs...)
-	return t
+	return t, nil
 }
 
 func maxOf(xs []float64) float64 {

@@ -21,7 +21,7 @@ func init() {
 	})
 }
 
-func runTable3(r *Runner) *stats.Table {
+func runTable3(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Table 3: charge pump overhead (input-referred power tokens)",
 		"scheme", "tokens", "overhead")
 	t.AddStringRow("Baseline (8 chips)", fmt.Sprintf("%.0f", power.BaselineChipTokens*8), "-")
@@ -39,14 +39,20 @@ func runTable3(r *Runner) *stats.Table {
 	for _, g := range grid {
 		cfgs = append(cfgs, r.cfgOf(gcpVariant(g.mapping, g.eff)))
 	}
-	r.Prewarm(cfgs, r.Opt().Workloads)
+	if err := r.Prewarm(cfgs, r.Opt().Workloads); err != nil {
+		return nil, err
+	}
 	for _, g := range grid {
 		cfg := r.cfgOf(gcpVariant(g.mapping, g.eff))
 		// Size the pump by the largest single-write GCP demand seen
 		// across workloads (Figure 13's measurement).
 		maxTokens := 0.0
 		for _, wl := range r.Opt().Workloads {
-			if m := r.Run(cfg, wl).MaxGCPSegment; m > maxTokens {
+			res, err := r.Run(cfg, wl)
+			if err != nil {
+				return nil, err
+			}
+			if m := res.MaxGCPSegment; m > maxTokens {
 				maxTokens = m
 			}
 		}
@@ -57,5 +63,5 @@ func runTable3(r *Runner) *stats.Table {
 			fmt.Sprintf("%.1f%%", overhead*100),
 		)
 	}
-	return t
+	return t, nil
 }

@@ -97,6 +97,16 @@ type Controller struct {
 	scheduling bool
 	rerun      bool
 
+	// Parallel-engine speculation state (nil when the engine is
+	// sequential). Each lane owns a Builder, mapping Table and store
+	// Reader so prepare workers never share mutable scratch; laneRR is a
+	// per-bank round-robin over the bank's chip lanes, advanced serially
+	// at enqueue time so lane assignment is schedule-order deterministic.
+	laneBuilders []*pcm.Builder
+	laneTables   []*mapping.Table
+	laneReaders  []*pcm.Reader
+	laneRR       []uint32
+
 	// Telemetry. Counters live in the hub's metrics registry; the
 	// summaries/histogram stay local and are exported as gauges.
 	hub          *obs.Hub
@@ -139,6 +149,23 @@ func NewController(eng *sim.Engine, cfg *sim.Config, baseline BaselineFunc) *Con
 	c.mapTab = mapping.NewTable(c.mapFn, cfg.CellsPerLine(), cfg.Chips)
 	if cfg.PWL {
 		c.rot = mapping.NewRotator(cfg.CellsPerLine(), cfg.PWLShiftWrites, rng.Derive(2))
+	}
+	if eng.Sharded() {
+		lanes := cfg.Lanes()
+		c.laneBuilders = make([]*pcm.Builder, lanes)
+		c.laneTables = make([]*mapping.Table, lanes)
+		c.laneReaders = make([]*pcm.Reader, lanes)
+		c.laneRR = make([]uint32, cfg.Banks)
+		// Per-lane RNG streams split from the seed via SplitMix64
+		// (RNG.Derive). Profile iteration draws are content-seeded inside
+		// Build, so lane builders produce bit-identical profiles to the
+		// serial builder no matter which lane builds a write.
+		laneRNG := rng.Derive(3)
+		for l := 0; l < lanes; l++ {
+			c.laneBuilders[l] = pcm.NewBuilder(cfg, laneRNG.Derive(uint64(l)))
+			c.laneTables[l] = mapping.NewTable(c.mapFn, cfg.CellsPerLine(), cfg.Chips)
+			c.laneReaders[l] = c.store.Reader()
+		}
 	}
 	if baseline == nil {
 		c.baseline = func(uint64, int) []byte { return nil } // all zeros
@@ -223,9 +250,11 @@ func (c *Controller) TryEnqueueWrite(addr uint64, data []byte) bool {
 		c.schedule()
 		return false
 	}
-	c.wrq = append(c.wrq, &WriteRequest{
+	req := &WriteRequest{
 		Addr: c.amap.LineAddr(addr), Data: data, enqueued: c.eng.Now(),
-	})
+	}
+	c.wrq = append(c.wrq, req)
+	c.scheduleSpec(req)
 	if len(c.wrq) >= c.cfg.WriteQueueEntries {
 		c.enterBurst()
 	}
@@ -437,8 +466,8 @@ func (c *Controller) issueWrites() {
 		prof := c.profileFor(req)
 		ticket, ok := c.sched.TryStart(prof)
 		if !ok {
-			// Not admitted: the profile is rebuilt on the next attempt.
-			c.builder.Release(prof)
+			// Not admitted: the profile stays cached on the request and
+			// is revalidated — not rebuilt — on the next attempt.
 			if !powerOOO {
 				break
 			}
@@ -528,18 +557,96 @@ func (c *Controller) startRead(bank int, req *ReadRequest, duringPause bool) {
 
 // --- Writes ---
 
-// profileFor builds (and caches per attempt) the write's physical profile:
-// the bridge's read-before-write comparison against stored content.
+// releaseProf returns a profile to the pool of the Builder that built it
+// (the serial builder or a lane builder). Releases only happen on the
+// serial path, so lane-builder pools are never touched concurrently with
+// their prepare-phase use.
+func (c *Controller) releaseProf(p *pcm.WriteProfile) {
+	if p == nil {
+		return
+	}
+	if o := p.Owner(); o != nil {
+		o.Release(p)
+		return
+	}
+	c.builder.Release(p)
+}
+
+// scheduleSpec speculatively builds the request's write profile on the
+// parallel engine. The prepare runs the same pure profile construction the
+// serial path would — against per-lane scratch — and the commit publishes
+// the result onto the request, tagged with the content version and rotation
+// offset it was built from. profileFor serves the cache only while both
+// tags still hold, and a rebuild under unchanged tags is bit-identical, so
+// speculation never changes results; it only moves build work off the
+// serial path. Lane choice (bank-major, round-robin over the bank's chips)
+// balances hot banks across lanes and is itself unobservable.
+func (c *Controller) scheduleSpec(req *WriteRequest) {
+	if c.laneBuilders == nil {
+		return
+	}
+	bank := c.amap.Bank(req.Addr)
+	lane := bank*c.cfg.Chips + int(c.laneRR[bank])%c.cfg.Chips
+	c.laneRR[bank]++
+	b, tab, rd := c.laneBuilders[lane], c.laneTables[lane], c.laneReaders[lane]
+	var prof *pcm.WriteProfile
+	var ver uint64
+	var rot int
+	c.eng.Speculate(lane, func() {
+		// Prepare: reads shared state the sweep barrier froze (store
+		// pages, lineWrites, rotation offsets), writes only lane scratch.
+		ver = c.lineWrites[req.Addr]
+		rot = c.rot.Offset(req.Addr)
+		old := rd.Get(req.Addr)
+		if old == nil {
+			old = c.baseline(req.Addr, c.cfg.L3LineB)
+		}
+		mapF := tab.Select(rot, c.cfg.Chips, c.cfg.HalfStripe,
+			c.amap.LineIndex(req.Addr)%2 == 1)
+		prof = b.Build(req.Addr, old, req.Data, mapF, c.cfg.WriteTruncation)
+	}, func() {
+		// Commit (serial): publish unless the write already issued —
+		// the in-flight op owns its profile and must not lose it.
+		if prof == nil {
+			return
+		}
+		if req.inflight {
+			c.releaseProf(prof)
+			return
+		}
+		c.releaseProf(req.prof)
+		req.prof, req.profVer, req.profRot = prof, ver, rot
+	})
+}
+
+// profileFor returns the write's physical profile — the bridge's
+// read-before-write comparison against stored content — serving the
+// request's cached (possibly speculative) profile while its content-version
+// and rotation tags still match. The profile stays cached on the request
+// until the write issues, so denied issue attempts stop paying for
+// rebuilds: a rebuild under unchanged tags is bit-identical by construction
+// (Build seeds its draws from the content hash).
 func (c *Controller) profileFor(req *WriteRequest) *pcm.WriteProfile {
+	ver := c.lineWrites[req.Addr]
+	rot := c.rot.Offset(req.Addr)
+	if req.prof != nil {
+		if req.profVer == ver && req.profRot == rot {
+			return req.prof
+		}
+		c.releaseProf(req.prof)
+		req.prof = nil
+	}
 	old := c.store.Get(req.Addr)
 	if old == nil {
 		old = c.baseline(req.Addr, c.cfg.L3LineB)
 	}
 	// The composed rotation + half-stripe variant is served from the
 	// precomputed table: no closure chain, no per-attempt allocations.
-	mapF := c.mapTab.Select(c.rot.Offset(req.Addr), c.cfg.Chips,
+	mapF := c.mapTab.Select(rot, c.cfg.Chips,
 		c.cfg.HalfStripe, c.amap.LineIndex(req.Addr)%2 == 1)
-	return c.builder.Build(req.Addr, old, req.Data, mapF, c.cfg.WriteTruncation)
+	prof := c.builder.Build(req.Addr, old, req.Data, mapF, c.cfg.WriteTruncation)
+	req.prof, req.profVer, req.profRot = prof, ver, rot
+	return prof
 }
 
 // startWrite occupies the bank and walks the write's power plan. The
@@ -548,6 +655,7 @@ func (c *Controller) profileFor(req *WriteRequest) *pcm.WriteProfile {
 func (c *Controller) startWrite(bank int, req *WriteRequest, prof *pcm.WriteProfile, ticket *core.Ticket) {
 	b := &c.banks[bank]
 	b.busy = true
+	req.inflight = true
 	op := &writeOp{req: req, prof: prof, ticket: ticket, bank: bank, started: c.eng.Now()}
 	b.wr = op
 	if c.hub.Tracing() {
@@ -684,9 +792,13 @@ func (c *Controller) cancelWrite(op *writeOp) {
 		c.hub.Emit(obs.Event{Kind: obs.Instant, Cat: "mem", Name: "write.cancel",
 			ID: op.bank, Addr: op.req.Addr, V: float64(op.req.cancelled)})
 	}
-	// Re-issue from scratch: the profile is rebuilt on the next attempt.
-	c.builder.Release(op.prof)
+	// Re-issue: the profile stays cached on the request (op.prof and
+	// req.prof are the same object, still tagged with its build-time
+	// version and offset), so if neither the line content nor its
+	// rotation changed before the retry, the rebuild is skipped — a
+	// rebuild under unchanged tags would be bit-identical anyway.
 	op.prof = nil
+	op.req.inflight = false
 	c.wrq = append([]*WriteRequest{op.req}, c.wrq...)
 }
 
@@ -708,8 +820,10 @@ func (c *Controller) completeWrite(op *writeOp) {
 	}
 	c.cellChanges.Add(float64(op.prof.Changed))
 	c.writeEnergy.Add(op.prof.WriteEnergyPJ(c.cfg))
-	c.builder.Release(op.prof)
+	c.releaseProf(op.prof)
 	op.prof = nil
+	op.req.prof = nil // same object as op.prof; already released
+	op.req.inflight = false
 	c.lineWrites[op.req.Addr]++
 	if n := c.lineWrites[op.req.Addr]; n > c.maxLineWr {
 		c.maxLineWr = n

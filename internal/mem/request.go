@@ -1,6 +1,9 @@
 package mem
 
-import "fpb/internal/sim"
+import (
+	"fpb/internal/pcm"
+	"fpb/internal/sim"
+)
 
 // ReadRequest is a PCM line read. Demand reads carry a completion callback
 // that unblocks the waiting core; fill reads (read-for-ownership of
@@ -20,4 +23,19 @@ type WriteRequest struct {
 	// cancelled counts how many times write cancellation restarted this
 	// request (telemetry; the paper's WC re-executes writes in full).
 	cancelled int
+
+	// prof caches the request's write profile across issue attempts (and
+	// receives speculatively built profiles under the parallel engine). A
+	// profile is a pure function of (line address, stored content, new
+	// data, rotation offset), so it is validated by the stored-content
+	// version and offset it was built against: while both are unchanged a
+	// rebuild would produce an identical profile, and the cache serves it
+	// without re-diffing the line.
+	prof    *pcm.WriteProfile
+	profVer uint64 // lineWrites[Addr] the profile was built against
+	profRot int    // rotation offset the profile was built against
+	// inflight marks the request as issued to a bank: a speculative
+	// profile arriving now would be useless (the op owns its profile) and
+	// is dropped instead of published.
+	inflight bool
 }

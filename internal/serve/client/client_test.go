@@ -101,11 +101,16 @@ func TestRunnerOffloadsToDaemon(t *testing.T) {
 	base := r.BaseConfig()
 	mod := base
 	mod.Seed = 99
-	r.Prewarm([]sim.Config{base, mod}, []string{"mcf_m", "lbm_m"})
+	if err := r.Prewarm([]sim.Config{base, mod}, []string{"mcf_m", "lbm_m"}); err != nil {
+		t.Fatal(err)
+	}
 	// Every Run below must be a warm hit — no new daemon simulations.
 	for _, cfg := range []sim.Config{base, mod} {
 		for _, wl := range []string{"mcf_m", "lbm_m"} {
-			res := r.Run(cfg, wl)
+			res, err := r.Run(cfg, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if res.Workload != wl {
 				t.Errorf("remote result for %s: %+v", wl, res)
 			}

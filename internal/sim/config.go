@@ -226,6 +226,14 @@ type Config struct {
 
 	// --- Misc ---
 	Seed uint64
+
+	// Shards enables the parallel simulation engine: 0 (default) runs the
+	// sequential kernel; > 0 shards the event population into Banks*Chips
+	// lanes executed by up to Shards-wide parallel prepare sweeps inside
+	// conservative time windows (see sharded.go). Results are bit-identical
+	// for every value — Shards is a wall-clock knob, not a model parameter —
+	// so it is excluded from the simulation's content-address (system.Key).
+	Shards int
 }
 
 // DefaultConfig returns the paper's Table 1 baseline configuration.
@@ -315,10 +323,36 @@ func (c *Config) ReadCycles() Cycle {
 	return c.PCMReadCycles
 }
 
+// Lanes returns the event-lane count of the parallel engine: one lane per
+// (bank, chip) pair — 64 at the Table 1 scale — so per-bank write activity
+// spreads across the chips serving it.
+func (c *Config) Lanes() int { return c.Banks * c.Chips }
+
+// LookaheadCycles returns the parallel engine's conservative window width:
+// the minimum cross-lane interaction latency, i.e. the shortest of the RESET
+// pulse, the SET pulse and the MC-to-bank command latency (the scheduling
+// quantum). No lane event scheduled by an event at time t can matter to
+// another lane before t + LookaheadCycles.
+func (c *Config) LookaheadCycles() Cycle {
+	w := c.ResetCycles
+	if c.SetCycles < w {
+		w = c.SetCycles
+	}
+	if c.MCToBank < w {
+		w = c.MCToBank
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
 // Validate checks internal consistency and returns a descriptive error for
 // the first problem found.
 func (c *Config) Validate() error {
 	switch {
+	case c.Shards < 0:
+		return fmt.Errorf("config: Shards must be non-negative, got %d", c.Shards)
 	case c.Cores <= 0:
 		return fmt.Errorf("config: Cores must be positive, got %d", c.Cores)
 	case c.Chips <= 0 || c.Banks <= 0:

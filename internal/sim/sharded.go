@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the opt-in parallel engine: the event population is
+// sharded into per-bank lanes plus the ordinary global queue, and execution
+// proceeds in conservative time windows whose width is a static lookahead.
+//
+// A lane event is scheduled with Speculate and carries two callbacks:
+//
+//   - prepare runs on a worker goroutine during a window's parallel phase.
+//     It must only read shared simulation state and write state local to its
+//     lane (or captured by the event's own closures); it must not touch the
+//     engine. Prepares across lanes run concurrently.
+//   - commit runs on the engine goroutine at the window barrier, merged with
+//     global-queue events in deterministic (time, seq) order. All shared
+//     mutation happens here.
+//
+// Determinism argument: every prepare is phase-separated from every commit
+// and from all other shards' prepares by the sweep barrier (a WaitGroup,
+// which establishes happens-before in both directions), so there are no data
+// races; and because lane events are scheduled exactly `lookahead` cycles
+// ahead, every lane event committing inside a window [T, T+W) was scheduled
+// before T and therefore prepared at the window's opening sweep — the
+// conservative invariant. Since commits apply in global (time, seq) order on
+// one goroutine, the observable event order is identical to the sequential
+// engine's; prepares only precompute values that are pure functions of the
+// state their validity is later checked against, so results are bit-identical
+// for any shard count and any GOMAXPROCS.
+const (
+	// idxReady marks a lane event that has been prepared and is waiting in
+	// its lane's ready queue for the commit barrier. Distinct from idxIdle so
+	// Scheduled/Cancel keep working on in-flight lane events.
+	idxReady = -3
+)
+
+// laneQueue holds one lane's pending and prepared events.
+type laneQueue struct {
+	heap  eventHeap // scheduled, not yet prepared
+	ready []*Event  // prepared, ascending (when, seq), awaiting commit
+	next  int       // first unconsumed entry of ready
+}
+
+// sharding is the parallel-engine state hung off an Engine by EnableSharding.
+type sharding struct {
+	shards    int
+	lookahead Cycle
+	lanes     []laneQueue
+	pending   int   // lane events not yet committed (heap + ready)
+	minWhen   Cycle // earliest pending lane event; MaxCycle when none
+
+	preparing atomic.Bool // a sweep's parallel phase is running
+
+	work    chan int // shard indices for the current sweep
+	started bool
+	wg      sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicked any
+}
+
+// EnableSharding turns on the parallel engine: lanes event lanes executed by
+// up to shards-wide parallel prepare sweeps, with a conservative lookahead of
+// the given width. Must be called before any event is scheduled; the lane
+// partition (lane % shards) depends only on the shard count, never on
+// GOMAXPROCS, so a simulation's shard assignment is machine-independent.
+func (e *Engine) EnableSharding(lanes, shards int, lookahead Cycle) {
+	if e.sh != nil {
+		panic("sim: EnableSharding called twice")
+	}
+	if lanes <= 0 || shards <= 0 {
+		panic(fmt.Sprintf("sim: EnableSharding with lanes %d, shards %d", lanes, shards))
+	}
+	if lookahead == 0 {
+		panic("sim: EnableSharding with zero lookahead")
+	}
+	if shards > lanes {
+		shards = lanes
+	}
+	e.sh = &sharding{
+		shards:    shards,
+		lookahead: lookahead,
+		lanes:     make([]laneQueue, lanes),
+		minWhen:   MaxCycle,
+	}
+}
+
+// Sharded reports whether the parallel engine is enabled.
+func (e *Engine) Sharded() bool { return e.sh != nil }
+
+// Lanes reports the number of event lanes (0 when not sharded).
+func (e *Engine) Lanes() int {
+	if e.sh == nil {
+		return 0
+	}
+	return len(e.sh.lanes)
+}
+
+// Lookahead reports the conservative window width (0 when not sharded).
+func (e *Engine) Lookahead() Cycle {
+	if e.sh == nil {
+		return 0
+	}
+	return e.sh.lookahead
+}
+
+// Speculate schedules a lane event exactly one lookahead ahead of now:
+// prepare runs speculatively on a worker during a window's parallel phase,
+// commit publishes its result at the barrier in global (time, seq) order.
+// Scheduling exactly lookahead ahead is what makes the windows conservative —
+// an event committing inside [T, T+W) was necessarily scheduled before T and
+// is therefore prepared by the sweep that opens the window.
+func (e *Engine) Speculate(lane int, prepare, commit func()) *Event {
+	sh := e.sh
+	if sh == nil {
+		panic("sim: Speculate on an engine without sharding enabled")
+	}
+	if sh.preparing.Load() {
+		panic("sim: Speculate called from a prepare callback")
+	}
+	if lane < 0 || lane >= len(sh.lanes) {
+		panic(fmt.Sprintf("sim: Speculate on lane %d of %d", lane, len(sh.lanes)))
+	}
+	ev := e.alloc()
+	ev.when, ev.seq = e.now+sh.lookahead, e.seq
+	ev.fn, ev.prepare = commit, prepare
+	ev.lane = int32(lane)
+	e.seq++
+	heap.Push(&sh.lanes[lane].heap, ev)
+	sh.pending++
+	if ev.when < sh.minWhen {
+		sh.minWhen = ev.when
+	}
+	return ev
+}
+
+// RunSharded executes events until stop() reports true, interleaving plain
+// sequential steps with conservative windows around pending lane events. It
+// reports false when the queue drains with stop still unsatisfied (the
+// deadlock case). stop is checked between consecutive events, exactly like a
+// sequential Step loop. The prepare worker pool is torn down on return.
+func (e *Engine) RunSharded(stop func() bool) bool {
+	sh := e.sh
+	if sh == nil {
+		for !stop() {
+			if !e.Step() {
+				return false
+			}
+		}
+		return true
+	}
+	defer sh.stopWorkers()
+	for {
+		if stop() {
+			return true
+		}
+		if sh.pending == 0 {
+			// Serial fast path: no lane events anywhere, behave exactly
+			// like the sequential engine.
+			if !e.Step() {
+				return false
+			}
+			continue
+		}
+		g := e.queue.peek(e.now, e.recycle)
+		if g != nil && g.when < sh.minWhen {
+			e.Step()
+			continue
+		}
+		// The frontier reached the earliest lane event: open a window.
+		if !e.runWindow(stop) {
+			return stop()
+		}
+	}
+}
+
+// runWindow opens a conservative window at the earliest pending lane event,
+// runs the parallel prepare sweep, then commits lane and global events inside
+// [T, T+lookahead) in (time, seq) order. It reports false when both queues
+// drained inside the window.
+func (e *Engine) runWindow(stop func() bool) bool {
+	sh := e.sh
+	start := sh.minWhen
+	end := start + sh.lookahead
+	if end < start { // overflow: unbounded window
+		end = MaxCycle
+	}
+	e.sweep()
+	for {
+		if stop() {
+			break
+		}
+		// Earliest prepared lane event.
+		var lev *Event
+		var lq *laneQueue
+		for l := range sh.lanes {
+			q := &sh.lanes[l]
+			if q.next >= len(q.ready) {
+				continue
+			}
+			ev := q.ready[q.next]
+			if lev == nil || ev.when < lev.when || (ev.when == lev.when && ev.seq < lev.seq) {
+				lev, lq = ev, q
+			}
+		}
+		g := e.queue.peek(e.now, e.recycle)
+		useLane := lev != nil && (g == nil || lev.when < g.when ||
+			(lev.when == g.when && lev.seq < g.seq))
+		if useLane {
+			if lev.when >= end && end != MaxCycle {
+				break // beyond the window; stays prepared for a later one
+			}
+			lq.next++
+			sh.pending--
+			e.now = lev.when
+			fn := lev.fn
+			cancelled := lev.cancel
+			e.recycle(lev)
+			if !cancelled {
+				// Lane commits do not count toward EventsRun and do not
+				// fire the dispatch hook: metrics and traces stay
+				// identical to the sequential engine, which never sees
+				// these events.
+				fn()
+			}
+			continue
+		}
+		if g == nil || (g.when >= end && end != MaxCycle) {
+			if lev == nil && g == nil {
+				// Ready queues and the global queue are empty; commits may
+				// have speculated new lane events beyond this window, in
+				// which case the outer loop opens the next one.
+				sh.compact()
+				return sh.pending > 0
+			}
+			break
+		}
+		e.Step()
+	}
+	sh.compact()
+	return true
+}
+
+// sweep runs the parallel prepare phase: every pending lane event — in this
+// window and beyond it — is popped from its lane heap in (when, seq) order
+// and its prepare callback runs on a worker, one shard (lane % shards) per
+// work item. The WaitGroup barrier orders all prepares before the commits
+// that follow and after the serial execution that preceded, so prepares may
+// freely read shared state.
+func (e *Engine) sweep() {
+	sh := e.sh
+	n := 0
+	for s := 0; s < sh.shards; s++ {
+		if sh.shardHasWork(s) {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	sh.startWorkers()
+	sh.preparing.Store(true)
+	sh.wg.Add(n)
+	for s := 0; s < sh.shards; s++ {
+		if sh.shardHasWork(s) {
+			sh.work <- s
+		}
+	}
+	sh.wg.Wait()
+	sh.preparing.Store(false)
+	if p := sh.takePanic(); p != nil {
+		panic(p)
+	}
+	sh.recomputeMin()
+}
+
+func (sh *sharding) shardHasWork(s int) bool {
+	for l := s; l < len(sh.lanes); l += sh.shards {
+		if len(sh.lanes[l].heap) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// prepareShard drains every lane of one shard on a worker goroutine. Lanes
+// of different shards are disjoint, so workers never share mutable state.
+func (sh *sharding) prepareShard(s int) {
+	defer sh.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicMu.Lock()
+			if sh.panicked == nil {
+				sh.panicked = r
+			}
+			sh.panicMu.Unlock()
+		}
+	}()
+	for l := s; l < len(sh.lanes); l += sh.shards {
+		lq := &sh.lanes[l]
+		for len(lq.heap) > 0 {
+			ev := heap.Pop(&lq.heap).(*Event)
+			ev.index = idxReady
+			if !ev.cancel && ev.prepare != nil {
+				ev.prepare()
+			}
+			lq.ready = append(lq.ready, ev)
+		}
+	}
+}
+
+func (sh *sharding) takePanic() any {
+	sh.panicMu.Lock()
+	defer sh.panicMu.Unlock()
+	p := sh.panicked
+	sh.panicked = nil
+	return p
+}
+
+// startWorkers lazily spins up the prepare pool: at most min(shards,
+// GOMAXPROCS) goroutines pulling shard indices. Which worker prepares which
+// shard is scheduler-dependent and deliberately irrelevant — shards touch
+// disjoint lanes and the barrier orders everything.
+func (sh *sharding) startWorkers() {
+	if sh.started {
+		return
+	}
+	sh.started = true
+	sh.work = make(chan int, sh.shards)
+	workers := sh.shards
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	for i := 0; i < workers; i++ {
+		go func(ch chan int) {
+			for s := range ch {
+				sh.prepareShard(s)
+			}
+		}(sh.work)
+	}
+}
+
+// stopWorkers tears down the pool; a later sweep restarts it.
+func (sh *sharding) stopWorkers() {
+	if sh.started {
+		close(sh.work)
+		sh.work = nil
+		sh.started = false
+	}
+}
+
+// recomputeMin rescans lane queues for the earliest pending event.
+func (sh *sharding) recomputeMin() {
+	min := MaxCycle
+	for l := range sh.lanes {
+		q := &sh.lanes[l]
+		if q.next < len(q.ready) && q.ready[q.next].when < min {
+			min = q.ready[q.next].when
+		}
+		if len(q.heap) > 0 && q.heap[0].when < min {
+			min = q.heap[0].when
+		}
+	}
+	sh.minWhen = min
+}
+
+// compact drops committed prefixes of the ready queues and refreshes the
+// cached minimum.
+func (sh *sharding) compact() {
+	for l := range sh.lanes {
+		q := &sh.lanes[l]
+		if q.next == 0 {
+			continue
+		}
+		n := copy(q.ready, q.ready[q.next:])
+		for i := n; i < len(q.ready); i++ {
+			q.ready[i] = nil
+		}
+		q.ready = q.ready[:n]
+		q.next = 0
+	}
+	sh.recomputeMin()
+}

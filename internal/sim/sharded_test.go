@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"testing"
+)
+
+// shardedProgram interprets one op stream and returns the commit log as
+// (now, id, value) triples. shards == 0 runs the plain sequential engine
+// with every lane event emulated as an At at the identical timestamp whose
+// callback runs prepare and commit back to back — the reference the
+// parallel engine must match entry for entry. Nested scheduling from
+// commits is derived purely from the event id, so both executions generate
+// the same follow-on events.
+func shardedProgram(ops []byte, shards int) []uint64 {
+	const lanes = 8
+	const lookahead = Cycle(16)
+	const maxEvents = 512
+
+	e := NewEngine()
+	if shards > 0 {
+		e.EnableSharding(lanes, shards, lookahead)
+	}
+	var log []uint64
+	var id uint64
+	var last *Event
+
+	var schedule func(kind int, arg uint64) *Event
+	spec := func(lane int, prep, commit func()) *Event {
+		if shards > 0 {
+			return e.Speculate(lane, prep, commit)
+		}
+		return e.At(e.Now()+lookahead, func() { prep(); commit() })
+	}
+	schedule = func(kind int, arg uint64) *Event {
+		if id >= maxEvents {
+			return nil
+		}
+		myID := id
+		id++
+		// Nested action: a pure function of the event id, identical in
+		// both executions.
+		h := (myID + 1) * 0x9E3779B97F4A7C15
+		commitTail := func() {
+			switch h % 4 {
+			case 0:
+				schedule(0, h>>8%64) // global follow-up
+			case 1:
+				schedule(1, h>>8) // speculative follow-up
+			}
+		}
+		switch kind {
+		case 0: // global event
+			return e.At(e.Now()+Cycle(arg%96), func() {
+				log = append(log, uint64(e.Now()), myID, 0)
+				commitTail()
+			})
+		default: // lane event: prepare computes, commit publishes
+			var v uint64
+			prep := func() { v = myID*3 + 1 }
+			commit := func() {
+				log = append(log, uint64(e.Now()), myID, v)
+				commitTail()
+			}
+			return spec(int(arg%lanes), prep, commit)
+		}
+	}
+
+	for i := 0; i+1 < len(ops); i += 2 {
+		op, arg := ops[i]&3, uint64(ops[i+1])
+		switch op {
+		case 0, 1:
+			if ev := schedule(int(op), arg); ev != nil {
+				last = ev
+			}
+		case 2: // cancel the most recently scheduled event
+			e.Cancel(last)
+			last = nil
+		default: // advance the build frontier: an empty global marker
+			if ev := schedule(0, arg); ev != nil {
+				last = ev
+			}
+		}
+	}
+
+	if shards > 0 {
+		// stop never satisfied: RunSharded reports false when it drains.
+		if e.RunSharded(func() bool { return false }) {
+			panic("RunSharded reported stop satisfied on a drained queue")
+		}
+	} else {
+		for e.Step() {
+		}
+	}
+	if e.Pending() != 0 {
+		panic("events stuck after drain")
+	}
+	return log
+}
+
+func diffLogs(t *testing.T, want, got []uint64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: sequential committed %d entries, sharded %d", label, len(want)/3, len(got)/3)
+	}
+	for i := 0; i < len(want); i += 3 {
+		if want[i] != got[i] || want[i+1] != got[i+1] || want[i+2] != got[i+2] {
+			t.Fatalf("%s: commit %d: sequential (now %d, id %d, v %d), sharded (now %d, id %d, v %d)",
+				label, i/3, want[i], want[i+1], want[i+2], got[i], got[i+1], got[i+2])
+		}
+	}
+}
+
+// TestShardedMatchesSequentialSeeded cross-checks the parallel engine
+// against the sequential reference over pseudo-random programs at several
+// shard counts, including one that does not divide the lane count.
+func TestShardedMatchesSequentialSeeded(t *testing.T) {
+	for seed := uint64(1); seed <= 24; seed++ {
+		rng := NewRNG(seed)
+		ops := make([]byte, 64+int(rng.Uint64()%192))
+		for i := range ops {
+			ops[i] = byte(rng.Uint64())
+		}
+		want := shardedProgram(ops, 0)
+		if len(want) == 0 {
+			continue
+		}
+		for _, shards := range []int{1, 3, 8} {
+			got := shardedProgram(ops, shards)
+			diffLogs(t, want, got, "seeded")
+		}
+	}
+}
+
+// FuzzShardedVsSequential lets the fuzzer pick the lane event
+// interleavings; any divergence from the sequential engine is a
+// determinism bug.
+func FuzzShardedVsSequential(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 1, 2, 0, 5, 1, 3}, uint8(4))
+	f.Add([]byte{0, 200, 1, 7, 2, 0, 1, 7, 0, 0, 1, 1}, uint8(1))
+	f.Add([]byte{1, 1, 1, 9, 1, 17, 1, 25, 3, 40, 1, 2}, uint8(3))
+	f.Add([]byte{3, 90, 1, 4, 2, 0, 2, 0, 1, 4, 0, 90}, uint8(8))
+	f.Fuzz(func(t *testing.T, ops []byte, shards uint8) {
+		s := int(shards%8) + 1
+		want := shardedProgram(ops, 0)
+		got := shardedProgram(ops, s)
+		diffLogs(t, want, got, "fuzz")
+	})
+}
+
+func TestEnableShardingValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero lanes", func() { NewEngine().EnableSharding(0, 1, 16) })
+	mustPanic("zero shards", func() { NewEngine().EnableSharding(8, 0, 16) })
+	mustPanic("zero lookahead", func() { NewEngine().EnableSharding(8, 4, 0) })
+	e := NewEngine()
+	e.EnableSharding(4, 9, 16) // shards clamp to lanes
+	mustPanic("double enable", func() { e.EnableSharding(4, 2, 16) })
+	if !e.Sharded() || e.Lanes() != 4 || e.Lookahead() != 16 {
+		t.Errorf("sharded=%v lanes=%d lookahead=%d", e.Sharded(), e.Lanes(), e.Lookahead())
+	}
+	mustPanic("speculate without sharding", func() {
+		NewEngine().Speculate(0, nil, func() {})
+	})
+	mustPanic("lane out of range", func() { e.Speculate(4, nil, func() {}) })
+
+	plain := NewEngine()
+	if plain.Sharded() || plain.Lanes() != 0 || plain.Lookahead() != 0 {
+		t.Error("unsharded accessors not zero")
+	}
+}
+
+// TestSpeculateCommitSeesPreparedValue: the prepared value must flow to
+// the commit, and the commit must observe the engine clock at the event's
+// scheduled cycle.
+func TestSpeculateCommitSeesPreparedValue(t *testing.T) {
+	e := NewEngine()
+	e.EnableSharding(2, 2, 10)
+	var v int
+	var at Cycle
+	e.Speculate(1, func() { v = 41 }, func() { v++; at = e.Now() })
+	if !e.RunSharded(func() bool { return v == 42 }) {
+		t.Fatal("RunSharded drained before the commit ran")
+	}
+	if v != 42 || at != 10 {
+		t.Errorf("v = %d at cycle %d, want 42 at 10", v, at)
+	}
+}
+
+// TestCancelSpeculatedEvent: cancelling a lane event before its window
+// suppresses both callbacks; the queue still drains.
+func TestCancelSpeculatedEvent(t *testing.T) {
+	e := NewEngine()
+	e.EnableSharding(4, 4, 16)
+	ran := false
+	ev := e.Speculate(2, func() { ran = true }, func() { ran = true })
+	if !ev.Scheduled() || ev.Lane() != 2 {
+		t.Fatalf("lane event not scheduled on its lane: %+v", ev)
+	}
+	e.Cancel(ev)
+	if e.RunSharded(func() bool { return false }) {
+		t.Error("drained engine reported stop satisfied")
+	}
+	if ran {
+		t.Error("cancelled lane event ran a callback")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("%d events pending after drain", e.Pending())
+	}
+}
+
+// TestSchedulingFromPreparePanics: prepares run concurrently and must not
+// touch the engine; the sweep re-raises a worker panic on the engine
+// goroutine.
+func TestSchedulingFromPreparePanics(t *testing.T) {
+	for name, misuse := range map[string]func(e *Engine){
+		"At":        func(e *Engine) { e.At(e.Now()+1, func() {}) },
+		"ArmAt":     func(e *Engine) { e.ArmAt(&Event{index: idxIdle, owned: true}, e.Now()+1, func() {}) },
+		"Speculate": func(e *Engine) { e.Speculate(0, nil, func() {}) },
+	} {
+		misuse := misuse
+		t.Run(name, func(t *testing.T) {
+			e := NewEngine()
+			e.EnableSharding(1, 1, 8)
+			e.Speculate(0, func() { misuse(e) }, func() {})
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s from prepare did not panic", name)
+				}
+			}()
+			e.RunSharded(func() bool { return false })
+		})
+	}
+}
+
+// TestRunShardedInterleavesGlobalEvents: global events strictly before the
+// first lane event run on the sequential fast path; inside the window the
+// merge respects (time, seq) order across both queues.
+func TestRunShardedInterleavesGlobalEvents(t *testing.T) {
+	e := NewEngine()
+	e.EnableSharding(2, 2, 20)
+	var order []string
+	e.At(5, func() { order = append(order, "g5") })
+	e.Speculate(0, nil, func() { order = append(order, "l20") }) // when = 20
+	e.At(20, func() { order = append(order, "g20") })            // same cycle, later seq
+	e.At(25, func() { order = append(order, "g25") })
+	if e.RunSharded(func() bool { return false }) {
+		t.Error("drained engine reported stop satisfied")
+	}
+	want := []string{"g5", "l20", "g20", "g25"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRunShardedStopChecksBetweenEvents: stop is honored between events,
+// leaving later work pending — the contract System.Run relies on.
+func TestRunShardedStopChecksBetweenEvents(t *testing.T) {
+	e := NewEngine()
+	e.EnableSharding(2, 1, 10)
+	done := false
+	e.Speculate(0, nil, func() { done = true })
+	e.Speculate(1, nil, func() { t.Error("event after stop ran") })
+	e.At(30, func() { t.Error("global event after stop ran") })
+	// First commit satisfies stop; the second lane event is at the same
+	// window but must not run.
+	if !e.RunSharded(func() bool { return done }) {
+		t.Fatal("stop was satisfied but RunSharded reported drain")
+	}
+	if e.Pending() == 0 {
+		t.Error("no events left pending after early stop")
+	}
+}
+
+// TestRunShardedWithoutShardingFallsBack: RunSharded on a plain engine is
+// just a Step loop.
+func TestRunShardedWithoutShardingFallsBack(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.RunSharded(func() bool { return n == 2 }) {
+		t.Fatal("fallback loop did not satisfy stop")
+	}
+	e2 := NewEngine()
+	e2.At(1, func() {})
+	if e2.RunSharded(func() bool { return false }) {
+		t.Error("drained fallback loop reported stop satisfied")
+	}
+}
+
+// TestShardedEventsRunExcludesLaneCommits: lane commits must not count
+// toward EventsRun or fire the dispatch hook — sim.events_run and traces
+// have to stay bit-identical to the sequential engine, which never sees
+// these events.
+func TestShardedEventsRunExcludesLaneCommits(t *testing.T) {
+	e := NewEngine()
+	e.EnableSharding(2, 2, 10)
+	hooks := 0
+	e.SetDispatchHook(func(now Cycle, ran uint64) { hooks++ })
+	e.At(3, func() {})
+	e.Speculate(0, nil, func() {})
+	e.At(12, func() {})
+	e.RunSharded(func() bool { return false })
+	if e.EventsRun() != 2 || hooks != 2 {
+		t.Errorf("EventsRun = %d, hook fired %d times; want 2 and 2 (lane commits excluded)",
+			e.EventsRun(), hooks)
+	}
+}

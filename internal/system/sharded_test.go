@@ -1,0 +1,123 @@
+package system
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fpb/internal/sim"
+)
+
+// TestShardedDeterminismMatrix is the hard guarantee behind Config.Shards:
+// for every tested shard count and every GOMAXPROCS, the full Result —
+// every scalar and every metric in the registry map — is bit-identical to
+// the sequential engine's. The MLC config stacks the riskiest speculation
+// paths (PWL rotation, write cancellation/pausing, Multi-RESET); the SLC
+// config covers the 1-bit write-profile shape.
+func TestShardedDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 workloads x 7 engine configurations")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	mlc := func() sim.Config {
+		cfg := quickConfig(sim.SchemeGCPIPMMR)
+		cfg.CellMapping = sim.MapBIM
+		cfg.PWL = true
+		cfg.WriteCancellation = true
+		cfg.WritePausing = true
+		cfg.InstrPerCore = 20_000
+		return cfg
+	}
+	slc := func() sim.Config {
+		cfg := quickConfig(sim.SchemeDIMMChip)
+		cfg.BitsPerCell = 1
+		cfg.InstrPerCore = 20_000
+		return cfg
+	}
+
+	for _, tc := range []struct {
+		name string
+		mk   func() sim.Config
+		wl   string
+	}{
+		{"mlc-fpb-wc-wp-pwl", mlc, "mcf_m"},
+		{"slc-dimmchip", slc, "mix_1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := RunWorkload(tc.mk(), tc.wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 4, 64} {
+				for _, procs := range []int{1, 4} {
+					runtime.GOMAXPROCS(procs)
+					cfg := tc.mk()
+					cfg.Shards = shards
+					got, err := RunWorkload(cfg, tc.wl)
+					if err != nil {
+						t.Fatalf("shards=%d procs=%d: %v", shards, procs, err)
+					}
+					if !reflect.DeepEqual(base, got) {
+						t.Errorf("shards=%d procs=%d diverged from sequential:\n  sequential: %+v\n  sharded:    %+v",
+							shards, procs, base, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedKeyIgnoresShards: Shards picks the execution engine, not the
+// simulated machine, so it must not fragment result caches.
+func TestShardedKeyIgnoresShards(t *testing.T) {
+	a := quickConfig(sim.SchemeGCP)
+	b := a
+	b.Shards = 64
+	if Key(a, "mcf_m") != Key(b, "mcf_m") {
+		t.Error("Shards changed the result cache key")
+	}
+	if Key(a, "mcf_m") == Key(a, "lbm_m") {
+		t.Error("distinct workloads share a key")
+	}
+}
+
+// TestShardedHalfStripeAndNarrowLines covers configurations the fpbsim CLI
+// cannot reach (half-stripe layout, 64B lines): the rotation-offset
+// validation of cached write profiles is most stressed here.
+func TestShardedHalfStripeAndNarrowLines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	for _, variant := range []struct {
+		name   string
+		mutate func(*sim.Config)
+	}{
+		{"halfstripe", func(c *sim.Config) { c.HalfStripe = true }},
+		{"line64", func(c *sim.Config) { c.L3LineB = 64 }},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			mk := func() sim.Config {
+				cfg := quickConfig(sim.SchemeGCPIPMMR)
+				cfg.CellMapping = sim.MapBIM
+				cfg.InstrPerCore = 15_000
+				variant.mutate(&cfg)
+				return cfg
+			}
+			base, err := RunWorkload(mk(), "lbm_m")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mk()
+			cfg.Shards = 16
+			got, err := RunWorkload(cfg, "lbm_m")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: sharded run diverged:\n  sequential: %+v\n  sharded:    %+v",
+					variant.name, base, got)
+			}
+		})
+	}
+}

@@ -97,6 +97,14 @@ func Build(cfg sim.Config, wl workload.Workload) (*System, error) {
 			wl.Name, len(wl.Cores), cfg.Cores)
 	}
 	eng := sim.NewEngine()
+	if cfg.Shards > 0 {
+		// Parallel engine: one lane per (bank, chip) pair, conservative
+		// windows as wide as the minimum cross-lane interaction latency.
+		// Enabled before the controller is built so it allocates its
+		// per-lane speculation state. Results are bit-identical to the
+		// sequential engine for any shard count (see sim/sharded.go).
+		eng.EnableSharding(cfg.Lanes(), cfg.Shards, cfg.LookaheadCycles())
+	}
 	mc := mem.NewController(eng, &cfg, workload.BaselineContent)
 	s := &System{Cfg: cfg, Eng: eng, MC: mc, Obs: mc.Hub()}
 	s.registerSystemMetrics()
@@ -316,6 +324,15 @@ func (s *System) EnableProbes(interval sim.Cycle, w io.Writer) *obs.Prober {
 func (s *System) Run() Result {
 	for _, c := range s.Cores {
 		c.Start()
+	}
+	if s.Eng.Sharded() {
+		// Same semantics as the sequential loop below: the stop predicate
+		// is evaluated between consecutive events.
+		if !s.Eng.RunSharded(func() bool { return s.finished >= len(s.Cores) }) {
+			s.MC.DumpState()
+			panic(fmt.Sprintf("system: deadlock — %d/%d cores finished, no events pending",
+				s.finished, len(s.Cores)))
+		}
 	}
 	for s.finished < len(s.Cores) {
 		if !s.Eng.Step() {

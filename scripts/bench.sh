@@ -59,6 +59,13 @@ if [ "$QUICK" -eq 0 ]; then
     # is enough: the simulation itself is deterministic and long.
     go test -run '^$' -bench 'BenchmarkFig18Throughput' -benchtime 1x -benchmem . |
         tee -a "$RAW"
+    # GOMAXPROCS scaling of the parallel engine. Results are bit-identical
+    # across cpu counts (fpbbench verifies that); only wall clock varies.
+    go run ./cmd/fpbbench -cpus 1,2,4 -instr 20000 | tee -a "$RAW"
+else
+    # Quick scaling smoke for CI: two workloads, two cpu counts.
+    go run ./cmd/fpbbench -cpus 1,2 -instr 8000 -workloads mcf_m,mix_1 |
+        tee -a "$RAW"
 fi
 
 go run ./cmd/fpbbench -out "$OUT" <"$RAW"

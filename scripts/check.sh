@@ -12,6 +12,10 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# The parallel engine's worker pool sizes itself from GOMAXPROCS; re-run
+# its packages under the race detector with real parallelism so sweep
+# synchronization is exercised even on single-core CI runners.
+GOMAXPROCS=2 go test -race ./internal/sim/ ./internal/system/
 # fpbdebug swaps in the Store.Get aliasing guard; run the packages that
 # exercise it so the debug build stays green.
 go test -tags fpbdebug ./internal/pcm/ ./internal/mem/
