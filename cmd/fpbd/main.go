@@ -12,9 +12,16 @@
 // API (see README "Serving" for a curl session):
 //
 //	GET  /healthz           liveness + queue snapshot
-//	GET  /metrics           JSON dump of the serving metrics registry
+//	GET  /metrics           serving metrics; legacy JSON by default,
+//	                        Prometheus text with ?format=prometheus
 //	POST /v1/jobs           run a job; blocks until the result is ready
 //	POST /v1/jobs?async=1   202 + job id immediately; poll GET /v1/jobs/{id}
+//	GET  /debug/pprof/      runtime profiles (only with -pprof)
+//
+// Logs are structured (log/slog): -log-format picks text or json, -log-level
+// the threshold. Every line about a job carries its correlation ID under the
+// "job" key, so `grep j000042` follows one job accept → queue → worker →
+// store. cmd/fpbtop renders a live view of the /metrics exposition.
 //
 // SIGINT/SIGTERM drain gracefully: new jobs get 503, queued and in-flight
 // jobs finish (their waiting clients get responses), then the process exits.
@@ -24,40 +31,68 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"fpb/internal/serve"
 )
 
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, errors.New("log format must be text or json")
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		store   = flag.String("store", "fpbd-store", "persistent result store directory (empty = no persistence)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job queue depth; a full queue answers 429")
-		drain   = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain in-flight jobs at shutdown")
+		addr      = flag.String("addr", ":8080", "listen address")
+		store     = flag.String("store", "fpbd-store", "persistent result store directory (empty = no persistence)")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "job queue depth; a full queue answers 429")
+		drain     = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain in-flight jobs at shutdown")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		// The logger itself failed to construct; stderr is all we have.
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("bad logging flags", "err", err)
+		os.Exit(2)
+	}
+
 	srv, err := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		StoreDir:   *store,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		StoreDir:    *store,
+		Logger:      log,
+		EnablePprof: *pprofFlag,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fpbd:", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "fpbd: listening on %s (store %q)\n", *addr, *store)
+		log.Info("listening", "addr", *addr, "store", *store, "pprof", *pprofFlag)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -65,12 +100,12 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "fpbd:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "fpbd: draining...")
+	log.Info("draining")
 	drained := make(chan struct{})
 	go func() {
 		srv.Drain() // reject new jobs, finish queued + in-flight ones
@@ -81,15 +116,23 @@ func main() {
 	select {
 	case <-drained:
 	case <-shutdownCtx.Done():
-		fmt.Fprintln(os.Stderr, "fpbd: drain timeout; abandoning queued jobs")
+		log.Warn("drain timeout; abandoning queued jobs")
 	}
 	// Now release connections whose handlers have responded.
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "fpbd: shutdown:", err)
+		log.Error("shutdown failed", "err", err)
 	}
 
-	if v, ok := srv.Registry().Value("serve.jobs.done"); ok {
-		hits, _ := srv.Registry().Value("serve.cache.hits")
-		fmt.Fprintf(os.Stderr, "fpbd: exit — %d jobs simulated, %d cache hits\n", int(v), int(hits))
-	}
+	// Exit-time metrics summary: the lifetime counters, through the same
+	// structured channel as everything else.
+	reg := srv.Registry()
+	done, _ := reg.Value("serve.jobs.done")
+	failed, _ := reg.Value("serve.jobs.failed")
+	hits, _ := reg.Value("serve.cache.hits")
+	coalesced, _ := reg.Value("serve.jobs.coalesced")
+	rejected, _ := reg.Value("serve.jobs.rejected")
+	log.Info("exit",
+		"jobs_done", int(done), "jobs_failed", int(failed),
+		"cache_hits", int(hits), "coalesced", int(coalesced),
+		"rejected", int(rejected))
 }

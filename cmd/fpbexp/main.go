@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"fpb/internal/exp"
+	"fpb/internal/obs"
 	"fpb/internal/serve/client"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "parallel engine shards per simulation (0 = sequential; results are bit-identical)")
 		remote    = flag.String("remote", "", "offload simulations to an fpbd daemon at this address (host:port)")
 
+		runStats   = flag.Bool("runstats", false, "dump run telemetry (sims, retries, backend latency) to stderr at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -100,8 +102,22 @@ func main() {
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
+	// One registry holds both the runner's and (with -remote) the client's
+	// telemetry; -runstats dumps it in the Prometheus text format, which
+	// unlike the JSON view includes the latency histograms.
+	reg := obs.NewRegistry()
+	opt.Metrics = reg
 	if *remote != "" {
-		opt.Backend = client.New(*remote).Run
+		cl := client.New(*remote)
+		cl.Instrument(reg)
+		opt.Backend = cl.Run
+	}
+	if *runStats {
+		defer func() {
+			if err := reg.WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "fpbexp: runstats:", err)
+			}
+		}()
 	}
 	runner := exp.NewRunner(opt)
 

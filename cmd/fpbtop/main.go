@@ -1,0 +1,148 @@
+// Command fpbtop is a terminal dashboard for a running fpbd daemon: it
+// scrapes GET /metrics?format=prometheus on an interval and renders queue
+// depth, worker utilization, cache hit ratio, job throughput and lifecycle
+// latency percentiles, refreshing in place like top(1).
+//
+// Usage:
+//
+//	fpbtop -addr localhost:8080            # refresh every 2s until ^C
+//	fpbtop -addr localhost:8080 -n 1       # one snapshot (scripts, smoke tests)
+//	fpbtop -interval 500ms -no-clear       # append snapshots instead of redrawing
+//
+// fpbtop only needs the Prometheus text endpoint, so it works against
+// anything that serves the exposition — including a future fleet aggregator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fpb/internal/obs"
+)
+
+func scrape(hc *http.Client, url string) (map[string]float64, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	samples, bad := obs.ParsePrometheus(string(body))
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no samples in exposition (%d unparseable lines)", len(bad))
+	}
+	return samples, nil
+}
+
+// bar renders a fixed-width utilization bar, e.g. [####......].
+func bar(used, total float64, width int) string {
+	if total <= 0 {
+		return strings.Repeat(".", width)
+	}
+	frac := used / total
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func render(w io.Writer, addr string, s map[string]float64, prev map[string]float64, interval time.Duration) {
+	qd, qc := s["serve_queue_depth"], s["serve_queue_capacity"]
+	wb, wt := s["serve_workers_busy"], s["serve_workers_total"]
+	hits, misses := s["serve_cache_hits"], s["serve_cache_misses"]
+	done, failed := s["serve_jobs_done"], s["serve_jobs_failed"]
+
+	fmt.Fprintf(w, "fpbd %s — %s\n\n", addr, time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "  queue    [%s] %.0f/%.0f\n", bar(qd, qc, 20), qd, qc)
+	fmt.Fprintf(w, "  workers  [%s] %.0f/%.0f busy\n", bar(wb, wt, 20), wb, wt)
+	fmt.Fprintf(w, "  cache    %.1f%% hit (%.0f hits / %.0f misses)\n",
+		100*ratio(hits, hits+misses), hits, misses)
+	rate := ""
+	if prev != nil && interval > 0 {
+		rate = fmt.Sprintf("  (%.1f/s)", (done-prev["serve_jobs_done"])/interval.Seconds())
+	}
+	fmt.Fprintf(w, "  jobs     %.0f done, %.0f failed, %.0f coalesced, %.0f rejected%s\n",
+		done, failed, s["serve_jobs_coalesced"], s["serve_jobs_rejected"], rate)
+
+	fmt.Fprintf(w, "\n  %-22s %8s %8s %8s %8s\n", "latency (ms)", "p50", "p95", "p99", "count")
+	for _, h := range []struct{ label, name string }{
+		{"queue wait", "serve_job_queue_wait_ms"},
+		{"simulation", "serve_job_sim_ms"},
+		{"store write", "serve_job_store_write_ms"},
+	} {
+		count := s[h.name+"_count"]
+		p50, ok := obs.HistogramQuantile(s, h.name, 0.50)
+		if !ok {
+			fmt.Fprintf(w, "  %-22s %8s %8s %8s %8.0f\n", h.label, "-", "-", "-", count)
+			continue
+		}
+		p95, _ := obs.HistogramQuantile(s, h.name, 0.95)
+		p99, _ := obs.HistogramQuantile(s, h.name, 0.99)
+		fmt.Fprintf(w, "  %-22s %8.3g %8.3g %8.3g %8.0f\n", h.label, p50, p95, p99, count)
+	}
+	if entries, ok := s["serve_store_entries"]; ok {
+		fmt.Fprintf(w, "\n  store    %.0f results persisted\n", entries)
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "fpbd address (host:port or URL)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		count    = flag.Int("n", 0, "number of snapshots (0 = until interrupted)")
+		noClear  = flag.Bool("no-clear", false, "append snapshots instead of redrawing the screen")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/metrics?format=prometheus"
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	var prev map[string]float64
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		s, err := scrape(hc, url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbtop:", err)
+			os.Exit(1)
+		}
+		if !*noClear && i > 0 {
+			fmt.Print("\033[H\033[2J") // cursor home + clear screen
+		}
+		render(os.Stdout, *addr, s, prev, *interval)
+		fmt.Println()
+		prev = s
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"fpb/internal/obs"
 	"fpb/internal/sim"
@@ -56,6 +57,10 @@ type Options struct {
 	// run (sim.Config.Shards). Results are bit-identical to sequential
 	// execution, so it only changes wall-clock time, never a figure.
 	Shards int
+	// Metrics, when non-nil, receives the runner's execution telemetry:
+	// simulations run, backend retries/failures, and backend latency.
+	// These describe how an experiment batch executed, never its figures.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +94,12 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[key]*entry
 	sims  uint64 // simulations actually executed (not served from cache)
+
+	// Telemetry (nil-safe no-ops without Options.Metrics).
+	cSims      *obs.Counter
+	cRetries   *obs.Counter
+	cFailures  *obs.Counter
+	hBackendMs *obs.Histogram
 }
 
 type key struct {
@@ -116,7 +127,18 @@ func NewRunner(opt Options) *Runner {
 			opt.MetricsDir = ""
 		}
 	}
-	return &Runner{opt: opt, cache: make(map[key]*entry)}
+	r := &Runner{opt: opt, cache: make(map[key]*entry)}
+	if reg := opt.Metrics; reg != nil {
+		r.cSims = reg.Counter("exp.sims")
+		r.cRetries = reg.Counter("exp.backend.retries")
+		r.cFailures = reg.Counter("exp.backend.failures")
+		r.hBackendMs = reg.Histogram("exp.backend_ms", obs.LatencyBucketsMs)
+		reg.SetHelp("exp.sims", "simulations executed (memoization misses)")
+		reg.SetHelp("exp.backend.retries", "backend calls retried after a transient failure")
+		reg.SetHelp("exp.backend.failures", "simulations that failed even after the retry")
+		reg.SetHelp("exp.backend_ms", "backend call latency per fresh simulation (ms)")
+	}
+	return r
 }
 
 // Opt returns the effective options.
@@ -152,15 +174,20 @@ func (r *Runner) Run(cfg sim.Config, wl string) (system.Result, error) {
 		if run == nil {
 			run = system.RunWorkload
 		}
+		start := time.Now()
 		res, err := run(cfg, wl)
 		if err != nil {
+			r.cRetries.Inc()
 			res, err = run(cfg, wl) // retry once
 		}
+		r.hBackendMs.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 		if err != nil {
+			r.cFailures.Inc()
 			e.err = fmt.Errorf("exp: running %s (scheme %v): %w", wl, cfg.Scheme, err)
 			return
 		}
 		r.dumpMetrics(cfg, wl, res)
+		r.cSims.Inc()
 		r.mu.Lock()
 		r.sims++
 		r.mu.Unlock()

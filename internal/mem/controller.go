@@ -116,13 +116,21 @@ type Controller struct {
 	writesDone   *obs.Counter
 	wcCancels    *obs.Counter
 	wpPauses     *obs.Counter
-	readLatency  stats.Summary
-	writeLatency stats.Summary
-	writeLatHist *stats.Histogram // bucketed by latBucketCycles for percentiles
-	cellChanges  stats.Summary
-	writeEnergy  stats.Summary // pJ per line write
-	lineWrites   map[uint64]uint64
-	maxLineWr    uint64
+	// Speculation-cache counters (exec scope: they describe how the
+	// parallel engine executed, not what the memory model computed, so
+	// they are excluded from Result.Metrics). nil — and so no-ops — on
+	// the sequential engine.
+	specPublished *obs.Counter
+	specDropped   *obs.Counter
+	specHits      *obs.Counter
+	specStale     *obs.Counter
+	readLatency   stats.Summary
+	writeLatency  stats.Summary
+	writeLatHist  *stats.Histogram // bucketed by latBucketCycles for percentiles
+	cellChanges   stats.Summary
+	writeEnergy   stats.Summary // pJ per line write
+	lineWrites    map[uint64]uint64
+	maxLineWr     uint64
 }
 
 // NewController wires the full memory subsystem for the configuration,
@@ -166,6 +174,10 @@ func NewController(eng *sim.Engine, cfg *sim.Config, baseline BaselineFunc) *Con
 			c.laneTables[l] = mapping.NewTable(c.mapFn, cfg.CellsPerLine(), cfg.Chips)
 			c.laneReaders[l] = c.store.Reader()
 		}
+		c.specPublished = hub.ExecCounter("mem.spec.published")
+		c.specDropped = hub.ExecCounter("mem.spec.dropped")
+		c.specHits = hub.ExecCounter("mem.spec.hits")
+		c.specStale = hub.ExecCounter("mem.spec.stale")
 	}
 	if baseline == nil {
 		c.baseline = func(uint64, int) []byte { return nil } // all zeros
@@ -612,10 +624,13 @@ func (c *Controller) scheduleSpec(req *WriteRequest) {
 		}
 		if req.inflight {
 			c.releaseProf(prof)
+			c.specDropped.Inc()
 			return
 		}
 		c.releaseProf(req.prof)
 		req.prof, req.profVer, req.profRot = prof, ver, rot
+		req.profSpec = true
+		c.specPublished.Inc()
 	})
 }
 
@@ -631,7 +646,16 @@ func (c *Controller) profileFor(req *WriteRequest) *pcm.WriteProfile {
 	rot := c.rot.Offset(req.Addr)
 	if req.prof != nil {
 		if req.profVer == ver && req.profRot == rot {
+			if req.profSpec {
+				// Count each speculatively built profile at most once.
+				req.profSpec = false
+				c.specHits.Inc()
+			}
 			return req.prof
+		}
+		if req.profSpec {
+			req.profSpec = false
+			c.specStale.Inc()
 		}
 		c.releaseProf(req.prof)
 		req.prof = nil

@@ -34,6 +34,10 @@ type WriteRequest struct {
 	prof    *pcm.WriteProfile
 	profVer uint64 // lineWrites[Addr] the profile was built against
 	profRot int    // rotation offset the profile was built against
+	// profSpec marks prof as speculatively built (published by a lane
+	// commit); profileFor clears it on first use so the speculation
+	// hit-rate counters see each profile once.
+	profSpec bool
 	// inflight marks the request as issued to a bank: a speculative
 	// profile arriving now would be useless (the op owns its profile) and
 	// is dropped instead of published.

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"fpb/internal/obs"
 	"fpb/internal/serve"
 	"fpb/internal/sim"
 	"fpb/internal/system"
@@ -29,6 +30,27 @@ type Client struct {
 	// giving up (default 2 minutes; the queue of a busy daemon drains at
 	// simulation granularity, so waits are long but bounded).
 	RetryBudget time.Duration
+
+	// Caller-side telemetry, populated by Instrument. All fields are
+	// nil-safe no-ops until then.
+	cRequests  *obs.Counter
+	cRetry429  *obs.Counter
+	cErrors    *obs.Counter
+	hRequestMs *obs.Histogram
+}
+
+// Instrument registers the client's remote-call telemetry — request count,
+// 429 retries, terminal errors, and end-to-end request latency (including
+// retry waits) — into reg. Call once, before concurrent use.
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.cRequests = reg.Counter("client.requests")
+	c.cRetry429 = reg.Counter("client.retries_429")
+	c.cErrors = reg.Counter("client.errors")
+	c.hRequestMs = reg.Histogram("client.request_ms", obs.LatencyBucketsMs)
+	reg.SetHelp("client.requests", "jobs submitted to the remote daemon")
+	reg.SetHelp("client.retries_429", "429 pushback retries while submitting")
+	reg.SetHelp("client.errors", "job submissions that failed terminally")
+	reg.SetHelp("client.request_ms", "end-to-end remote job latency incl. retries (ms)")
 }
 
 // New returns a client for addr ("host:port" or a full http:// URL).
@@ -68,6 +90,19 @@ func (c *Client) Do(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, e
 	if err != nil {
 		return serve.JobStatus{}, fmt.Errorf("client: encoding spec: %w", err)
 	}
+	c.cRequests.Inc()
+	start := time.Now()
+	st, err := c.doRetries(ctx, body)
+	// Latency includes retry waits: it is the caller-observed cost of the
+	// remote call, not the server's service time.
+	c.hRequestMs.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	if err != nil {
+		c.cErrors.Inc()
+	}
+	return st, err
+}
+
+func (c *Client) doRetries(ctx context.Context, body []byte) (serve.JobStatus, error) {
 	deadline := time.Now().Add(c.RetryBudget)
 	for {
 		st, retry, err := c.post(ctx, body)
@@ -77,6 +112,7 @@ func (c *Client) Do(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, e
 		if time.Now().After(deadline) {
 			return serve.JobStatus{}, fmt.Errorf("client: retry budget exhausted: %w", err)
 		}
+		c.cRetry429.Inc()
 		select {
 		case <-time.After(retryDelay(retryAfterHeader(err))):
 		case <-ctx.Done():

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fpb/internal/exp"
+	"fpb/internal/obs"
 	"fpb/internal/serve"
 	"fpb/internal/sim"
 	"fpb/internal/system"
@@ -121,5 +122,59 @@ func TestRunnerOffloadsToDaemon(t *testing.T) {
 	}
 	if r.Simulations() != 4 {
 		t.Errorf("runner recorded %d backend calls, want 4", r.Simulations())
+	}
+}
+
+// TestClientAndRunnerTelemetry: the instrumented client and an exp.Runner
+// sharing one registry record requests, 429 retries, backend calls and
+// latency histograms — the caller-side half of the fleet observability
+// story.
+func TestClientAndRunnerTelemetry(t *testing.T) {
+	var sims atomic.Int64
+	_, c := startDaemon(t, serve.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		RetryAfter: time.Millisecond,
+		Simulate:   fake(&sims, 20*time.Millisecond),
+	})
+	c.RetryBudget = 30 * time.Second
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	r := exp.NewRunner(exp.Options{
+		InstrPerCore: 1000,
+		Workloads:    []string{"mcf_m"},
+		Workers:      4,
+		Backend:      c.Run,
+		Metrics:      reg,
+	})
+	// 4 distinct configs against 1 worker + 1 queue slot: some submissions
+	// must hit 429 pushback and retry.
+	cfgs := make([]sim.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = r.BaseConfig()
+		cfgs[i].Seed = uint64(i + 1)
+	}
+	if err := r.Prewarm(cfgs, []string{"mcf_m"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := reg.Value("client.requests"); v != 4 {
+		t.Errorf("client.requests = %v, want 4", v)
+	}
+	if v, _ := reg.Value("client.retries_429"); v < 1 {
+		t.Errorf("client.retries_429 = %v, want >= 1 (1 worker, 1 slot, 4 jobs)", v)
+	}
+	if v, _ := reg.Value("client.errors"); v != 0 {
+		t.Errorf("client.errors = %v, want 0", v)
+	}
+	if v, _ := reg.Value("exp.sims"); v != 4 {
+		t.Errorf("exp.sims = %v, want 4", v)
+	}
+	if n := reg.Histogram("client.request_ms", nil).Count(); n != 4 {
+		t.Errorf("client.request_ms count = %d, want 4", n)
+	}
+	if n := reg.Histogram("exp.backend_ms", nil).Count(); n != 4 {
+		t.Errorf("exp.backend_ms count = %d, want 4", n)
 	}
 }

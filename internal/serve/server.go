@@ -3,10 +3,13 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
-	"os"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +41,14 @@ type Config struct {
 	// Simulate overrides the simulation function (default
 	// system.RunWorkload). Used by tests.
 	Simulate SimulateFunc
+	// Logger receives structured job-lifecycle logs (every line carries
+	// the job's correlation ID). nil discards them — tests and embedders
+	// that don't care stay silent.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+	// because profiling endpoints on a fleet daemon are an operator
+	// decision, not a default.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +67,9 @@ func (c Config) withDefaults() Config {
 	if c.Simulate == nil {
 		c.Simulate = system.RunWorkload
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -67,12 +81,15 @@ type job struct {
 	cfg sim.Config
 	wl  string
 
+	acceptedAt time.Time // when submit admitted it (wall clock)
+
 	done chan struct{} // closed exactly once, on completion
 
 	// Guarded by Server.mu until done is closed.
 	state JobState
 	res   system.Result
 	err   error
+	lc    Lifecycle // per-job lifecycle record, keyed by id everywhere
 }
 
 // status snapshots a job into its wire form. Callers must hold Server.mu
@@ -86,6 +103,10 @@ func (j *job) status() JobStatus {
 	case StateFailed:
 		st.Error = j.err.Error()
 	}
+	if j.lc.Outcome != "" {
+		lc := j.lc
+		st.Lifecycle = &lc
+	}
 	return st
 }
 
@@ -95,6 +116,7 @@ type Server struct {
 	cfg   Config
 	store *Store // nil when persistence is disabled
 	reg   *obs.Registry
+	log   *slog.Logger
 	mux   *http.ServeMux
 	queue chan *job
 	wg    sync.WaitGroup
@@ -107,11 +129,16 @@ type Server struct {
 	nextID   uint64
 	busy     int // workers currently simulating
 
-	// Metrics (mutated only under mu; read by /metrics under mu).
+	// Metrics. Counters and histograms are individually thread-safe
+	// (sync/atomic); gauge closures read mu-guarded fields WITHOUT
+	// locking, so every registry snapshot happens under mu (see
+	// registerMetrics).
 	cAccepted, cCoalesced, cRejected *obs.Counter
 	cDone, cFailed                   *obs.Counter
 	cHits, cMisses                   *obs.Counter
-	latency                          *stats.Histogram // job latency, ms
+	cStoreErrors                     *obs.Counter
+	latency                          *stats.Histogram // job latency, ms (legacy percentile gauges)
+	hQueueWait, hSim, hStore         *obs.Histogram   // lifecycle stage histograms, ms
 }
 
 // New builds a server, opens its store, and starts the worker pool.
@@ -120,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
+		log:      cfg.Logger,
 		queue:    make(chan *job, cfg.QueueDepth),
 		inflight: make(map[string]*job),
 		jobs:     make(map[string]*job),
@@ -138,6 +166,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -156,6 +191,7 @@ func (s *Server) registerMetrics() {
 	s.cFailed = s.reg.Counter("serve.jobs.failed")
 	s.cHits = s.reg.Counter("serve.cache.hits")
 	s.cMisses = s.reg.Counter("serve.cache.misses")
+	s.cStoreErrors = s.reg.Counter("serve.store.put_errors")
 	s.reg.Gauge("serve.queue.depth", func() float64 { return float64(len(s.queue)) })
 	s.reg.Gauge("serve.queue.capacity", func() float64 { return float64(s.cfg.QueueDepth) })
 	s.reg.Gauge("serve.workers.busy", func() float64 { return float64(s.busy) })
@@ -165,9 +201,33 @@ func (s *Server) registerMetrics() {
 	s.reg.Gauge("serve.latency_ms.p95", func() float64 { return float64(s.latency.P95()) })
 	s.reg.Gauge("serve.latency_ms.p99", func() float64 { return float64(s.latency.P99()) })
 	s.reg.Gauge("serve.latency_ms.mean", func() float64 { return s.latency.Mean() })
+	s.hQueueWait = s.reg.Histogram("serve.job.queue_wait_ms", obs.LatencyBucketsMs)
+	s.hSim = s.reg.Histogram("serve.job.sim_ms", obs.LatencyBucketsMs)
+	s.hStore = s.reg.Histogram("serve.job.store_write_ms", obs.LatencyBucketsMs)
+	for name, help := range map[string]string{
+		"serve.jobs.accepted":      "jobs admitted to the queue (store misses only)",
+		"serve.jobs.coalesced":     "requests coalesced onto an identical in-flight job",
+		"serve.jobs.rejected":      "jobs rejected with 429 (queue full)",
+		"serve.jobs.done":          "simulations completed successfully",
+		"serve.jobs.failed":        "simulations that returned an error",
+		"serve.cache.hits":         "requests answered from the persistent result store",
+		"serve.cache.misses":       "requests that required a fresh simulation",
+		"serve.store.put_errors":   "persistence failures (results degraded to memory-only)",
+		"serve.queue.depth":        "jobs waiting for a worker",
+		"serve.queue.capacity":     "queue slots before 429 pushback",
+		"serve.workers.busy":       "workers currently simulating",
+		"serve.workers.total":      "worker pool size",
+		"serve.jobs.records":       "job records retained for async polling",
+		"serve.job.queue_wait_ms":  "accept-to-dequeue wait per job (ms)",
+		"serve.job.sim_ms":         "simulation runtime per job (ms)",
+		"serve.job.store_write_ms": "persistent store write latency per job (ms)",
+	} {
+		s.reg.SetHelp(name, help)
+	}
 	if s.store != nil {
 		// Store.Len does its own IO and needs no lock.
 		s.reg.Gauge("serve.store.entries", func() float64 { return float64(s.store.Len()) })
+		s.reg.SetHelp("serve.store.entries", "results in the content-addressed store")
 	}
 }
 
@@ -177,24 +237,38 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// worker drains the queue until Drain closes it.
+// worker drains the queue until Drain closes it. Each dequeue stamps the
+// job's lifecycle record (queue wait, simulation runtime, store-write
+// latency) and logs start/finish with the job's correlation ID.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		start := time.Now()
+		queueWait := start.Sub(j.acceptedAt)
 		s.mu.Lock()
 		j.state = StateRunning
+		j.lc.QueueWaitMs = durMs(queueWait)
 		s.busy++
 		s.mu.Unlock()
+		s.hQueueWait.Observe(durMs(queueWait))
+		s.log.Debug("job start", "job", j.id, "key", j.key,
+			"queue_wait_ms", durMs(queueWait))
 
 		res, err := s.cfg.Simulate(j.cfg, j.wl)
+		simDur := time.Since(start)
+		s.hSim.Observe(durMs(simDur))
+		var storeDur time.Duration
 		if err == nil {
 			res.Workload = j.wl
 			if s.store != nil {
+				putStart := time.Now()
 				if perr := s.store.Put(j.key, res); perr != nil {
 					// Persistence failures degrade to memory-only.
-					fmt.Fprintf(os.Stderr, "fpbd: %v\n", perr)
+					s.cStoreErrors.Inc()
+					s.log.Error("store put failed", "job", j.id, "key", j.key, "err", perr)
 				}
+				storeDur = time.Since(putStart)
+				s.hStore.Observe(durMs(storeDur))
 			}
 		}
 
@@ -206,13 +280,27 @@ func (s *Server) worker() {
 			j.state, j.res = StateDone, res
 			s.cDone.Inc()
 		}
+		j.lc.SimMs = durMs(simDur)
+		j.lc.StoreWriteMs = durMs(storeDur)
 		s.busy--
 		delete(s.inflight, j.key)
 		s.latency.Add(int(time.Since(start).Milliseconds()))
 		s.mu.Unlock()
 		close(j.done)
+		if err != nil {
+			s.log.Warn("job failed", "job", j.id, "key", j.key,
+				"sim_ms", durMs(simDur), "err", err)
+		} else {
+			s.log.Info("job done", "job", j.id, "key", j.key,
+				"queue_wait_ms", durMs(queueWait), "sim_ms", durMs(simDur),
+				"store_write_ms", durMs(storeDur))
+		}
 	}
 }
+
+// durMs converts a duration to fractional milliseconds (the unit of every
+// lifecycle histogram and log field).
+func durMs(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // submit resolves a request to a job: a store hit returns an already-done
 // synthetic job, an identical in-flight job coalesces, and otherwise a new
@@ -238,19 +326,24 @@ func (s *Server) submit(cfg sim.Config, wl string) (j *job, cached bool, err *ht
 			s.cHits.Inc()
 			j := s.newJobLocked(key, cfg, wl)
 			j.state, j.res = StateDone, res
+			j.lc.Outcome = OutcomeCacheHit
 			s.mu.Unlock()
 			close(j.done)
+			s.log.Info("job cache hit", "job", j.id, "key", key, "workload", wl)
 			return j, true, nil
 		}
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, false, &httpError{http.StatusServiceUnavailable, "server is draining"}
 	}
 	if j, ok := s.inflight[key]; ok {
 		s.cCoalesced.Inc()
+		j.lc.Coalesced++
+		s.mu.Unlock()
+		s.log.Info("job coalesced", "job", j.id, "key", key, "workload", wl)
 		return j, true, nil
 	}
 	j = s.newJobLocked(key, cfg, wl)
@@ -261,24 +354,34 @@ func (s *Server) submit(cfg sim.Config, wl string) (j *job, cached bool, err *ht
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
 		s.cRejected.Inc()
+		s.mu.Unlock()
+		s.log.Warn("job rejected", "key", key, "workload", wl, "reason", "queue full")
 		return nil, false, &httpError{http.StatusTooManyRequests, "job queue is full"}
 	}
+	j.lc.Outcome = OutcomeFresh
 	s.inflight[key] = j
 	s.cAccepted.Inc()
 	s.cMisses.Inc()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	s.log.Info("job accepted", "job", j.id, "key", key, "workload", wl,
+		"queue_depth", depth)
 	return j, false, nil
 }
 
-// newJobLocked mints a job record and registers it for polling; mu held.
+// newJobLocked mints a job record — including its correlation ID, which
+// every log line, lifecycle record and API response carries — and registers
+// it for polling; mu held.
 func (s *Server) newJobLocked(key string, cfg sim.Config, wl string) *job {
 	s.nextID++
 	j := &job{
-		id:    fmt.Sprintf("j%06d-%s", s.nextID, key[:8]),
-		key:   key,
-		cfg:   cfg,
-		wl:    wl,
-		done:  make(chan struct{}),
-		state: StateQueued,
+		id:         fmt.Sprintf("j%06d-%s", s.nextID, key[:8]),
+		key:        key,
+		cfg:        cfg,
+		wl:         wl,
+		acceptedAt: time.Now(),
+		done:       make(chan struct{}),
+		state:      StateQueued,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -319,16 +422,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"draining":    s.draining,
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// metricsFormat negotiates the /metrics representation: an explicit
+// ?format= wins, then the Accept header; bare requests keep getting the
+// legacy JSON so pre-existing tooling never breaks.
+func metricsFormat(r *http.Request) string {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return "json"
+	case "prometheus", "prom":
+		return "prom"
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return "json"
+	}
+	// Prometheus scrapers send text/plain (with version params) or
+	// application/openmetrics-text.
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		return "prom"
+	}
+	return "json"
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+	format := metricsFormat(r)
+	// Snapshots run under mu: gauge closures read mu-guarded fields.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.reg.WriteJSON(w); err != nil {
+	var err error
+	if format == "prom" {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		err = s.reg.WritePrometheus(w)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		err = s.reg.WriteJSON(w)
+	}
+	if err != nil {
 		// Headers are gone; nothing more to do than note it.
-		fmt.Fprintf(os.Stderr, "fpbd: metrics dump: %v\n", err)
+		s.log.Error("metrics dump failed", "format", format, "err", err)
 	}
 }
 
@@ -337,12 +471,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, JobStatus{State: StateFailed, Error: "bad request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, JobStatus{State: StateFailed, Error: "bad request: " + err.Error()})
 		return
 	}
 	cfg, wl, err := spec.Resolve()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, JobStatus{State: StateFailed, Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, JobStatus{State: StateFailed, Error: err.Error()})
 		return
 	}
 
@@ -351,7 +485,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if herr.status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		}
-		writeJSON(w, herr.status, JobStatus{State: StateFailed, Error: herr.msg})
+		s.writeJSON(w, herr.status, JobStatus{State: StateFailed, Error: herr.msg})
 		return
 	}
 
@@ -364,7 +498,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if st.State == StateDone || st.State == StateFailed {
 			code = http.StatusOK
 		}
-		writeJSON(w, code, st)
+		s.writeJSON(w, code, st)
 		return
 	}
 
@@ -373,6 +507,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// The client went away; the job keeps running for any coalesced
 		// waiters and for the store.
+		s.log.Debug("client disconnected before completion", "job", j.id)
 		return
 	}
 	st := j.status() // done => fields are frozen, no lock needed
@@ -381,7 +516,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if st.State == StateFailed {
 		code = http.StatusUnprocessableEntity
 	}
-	writeJSON(w, code, st)
+	s.writeJSON(w, code, st)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -394,10 +529,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, JobStatus{ID: id, State: StateFailed, Error: "unknown job id"})
+		s.writeJSON(w, http.StatusNotFound, JobStatus{ID: id, State: StateFailed, Error: "unknown job id"})
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 // Drain stops accepting new jobs, lets the queue and in-flight simulations
@@ -418,12 +553,12 @@ func (s *Server) Drain() {
 	s.wg.Wait()
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(v); err != nil {
-		fmt.Fprintf(os.Stderr, "fpbd: encoding response: %v\n", err)
+		s.log.Error("encoding response failed", "err", err)
 	}
 }

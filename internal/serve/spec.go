@@ -8,15 +8,22 @@
 // Endpoints:
 //
 //	GET  /healthz           liveness + queue/worker snapshot
-//	GET  /metrics           JSON dump of the server's obs metrics registry
+//	GET  /metrics           the server's obs metrics registry; legacy JSON
+//	                        by default, Prometheus text exposition with
+//	                        ?format=prometheus or an Accept header of
+//	                        text/plain / application/openmetrics-text
 //	POST /v1/jobs           run a job (blocks until done); ?async=1 returns
 //	                        202 immediately with an id to poll
 //	GET  /v1/jobs/{id}      status/result of a previously submitted job
+//	GET  /debug/pprof/...   runtime profiles, only when Config.EnablePprof
 //
 // Jobs are identified by system.Key — the SHA-256 of the canonical
 // (config, workload) serialization — so two requests that spell the same
 // simulation differently still share one queue slot, one worker, and one
-// store entry.
+// store entry. Each accepted job additionally gets a correlation ID
+// (JobStatus.ID) that appears on every structured log line and in the
+// job's Lifecycle record, so one grep follows a job accept → queue →
+// worker → store.
 package serve
 
 import (
@@ -94,6 +101,33 @@ const (
 	StateFailed JobState = "failed"
 )
 
+// Lifecycle outcomes.
+const (
+	// OutcomeFresh: the job was admitted to the queue and simulated.
+	OutcomeFresh = "fresh"
+	// OutcomeCacheHit: the job was answered from the persistent store.
+	OutcomeCacheHit = "cache-hit"
+)
+
+// Lifecycle is the per-job trace record, keyed by the job's correlation ID.
+// Stage timings are wall-clock milliseconds measured by the server; zero
+// values mean the stage has not happened (yet) for this job. Lifecycle is
+// observability data only — it never feeds the content-addressed key or the
+// stored result, so identical specs still dedupe regardless of timing.
+type Lifecycle struct {
+	// Outcome is OutcomeFresh or OutcomeCacheHit.
+	Outcome string `json:"outcome"`
+	// Coalesced counts additional requests that attached to this job
+	// while it was in flight.
+	Coalesced int `json:"coalesced,omitempty"`
+	// QueueWaitMs is accept-to-dequeue wait.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	// SimMs is the simulation runtime.
+	SimMs float64 `json:"sim_ms,omitempty"`
+	// StoreWriteMs is the persistent store write latency.
+	StoreWriteMs float64 `json:"store_write_ms,omitempty"`
+}
+
 // JobStatus is the response body of POST /v1/jobs and GET /v1/jobs/{id}.
 type JobStatus struct {
 	ID    string   `json:"id"`
@@ -105,4 +139,7 @@ type JobStatus struct {
 	Cached bool           `json:"cached,omitempty"`
 	Result *system.Result `json:"result,omitempty"`
 	Error  string         `json:"error,omitempty"`
+	// Lifecycle carries the job's trace record once the server has begun
+	// tracking it (outcome known).
+	Lifecycle *Lifecycle `json:"lifecycle,omitempty"`
 }

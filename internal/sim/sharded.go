@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the opt-in parallel engine: the event population is
@@ -42,9 +43,30 @@ const (
 
 // laneQueue holds one lane's pending and prepared events.
 type laneQueue struct {
-	heap  eventHeap // scheduled, not yet prepared
-	ready []*Event  // prepared, ascending (when, seq), awaiting commit
-	next  int       // first unconsumed entry of ready
+	heap      eventHeap // scheduled, not yet prepared
+	ready     []*Event  // prepared, ascending (when, seq), awaiting commit
+	next      int       // first unconsumed entry of ready
+	committed uint64    // lane events committed over the run (telemetry)
+}
+
+// ShardStats is an execution-side telemetry snapshot of the parallel
+// engine: it describes how a run executed (window count, barrier stall
+// time), never what it computed, so it is exported through exec-scope obs
+// series and excluded from Result.Metrics.
+type ShardStats struct {
+	// Windows is the number of conservative windows opened.
+	Windows uint64
+	// Sweeps is the number of parallel prepare sweeps dispatched (a
+	// window whose events were all prepared earlier needs no new sweep).
+	Sweeps uint64
+	// Prepared is the total number of lane events run through prepare
+	// callbacks on worker goroutines.
+	Prepared uint64
+	// LaneCommits is the number of lane events committed at barriers.
+	LaneCommits uint64
+	// BarrierWaitNs is cumulative wall-clock time the engine goroutine
+	// spent blocked on sweep barriers (nondeterministic by nature).
+	BarrierWaitNs uint64
 }
 
 // sharding is the parallel-engine state hung off an Engine by EnableSharding.
@@ -56,6 +78,15 @@ type sharding struct {
 	minWhen   Cycle // earliest pending lane event; MaxCycle when none
 
 	preparing atomic.Bool // a sweep's parallel phase is running
+
+	// Telemetry. All fields are written on the engine goroutine except
+	// preparedBy, whose per-shard slots are written by the (single) worker
+	// draining that shard and ordered against reads by the sweep barrier.
+	windows       uint64
+	sweeps        uint64
+	laneCommits   uint64
+	barrierWaitNs uint64
+	preparedBy    []uint64
 
 	work    chan int // shard indices for the current sweep
 	started bool
@@ -84,10 +115,11 @@ func (e *Engine) EnableSharding(lanes, shards int, lookahead Cycle) {
 		shards = lanes
 	}
 	e.sh = &sharding{
-		shards:    shards,
-		lookahead: lookahead,
-		lanes:     make([]laneQueue, lanes),
-		minWhen:   MaxCycle,
+		shards:     shards,
+		lookahead:  lookahead,
+		lanes:      make([]laneQueue, lanes),
+		minWhen:    MaxCycle,
+		preparedBy: make([]uint64, shards),
 	}
 }
 
@@ -191,6 +223,7 @@ func (e *Engine) runWindow(stop func() bool) bool {
 	if end < start { // overflow: unbounded window
 		end = MaxCycle
 	}
+	sh.windows++
 	e.sweep()
 	for {
 		if stop() {
@@ -218,6 +251,8 @@ func (e *Engine) runWindow(stop func() bool) bool {
 			}
 			lq.next++
 			sh.pending--
+			sh.laneCommits++
+			lq.committed++
 			e.now = lev.when
 			fn := lev.fn
 			cancelled := lev.cancel
@@ -265,6 +300,7 @@ func (e *Engine) sweep() {
 		return
 	}
 	sh.startWorkers()
+	sh.sweeps++
 	sh.preparing.Store(true)
 	sh.wg.Add(n)
 	for s := 0; s < sh.shards; s++ {
@@ -272,7 +308,11 @@ func (e *Engine) sweep() {
 			sh.work <- s
 		}
 	}
+	// Barrier-wait time is wall clock and thus nondeterministic — which is
+	// fine, because it only feeds exec-scope telemetry, never results.
+	waitStart := time.Now()
 	sh.wg.Wait()
+	sh.barrierWaitNs += uint64(time.Since(waitStart).Nanoseconds())
 	sh.preparing.Store(false)
 	if p := sh.takePanic(); p != nil {
 		panic(p)
@@ -302,6 +342,7 @@ func (sh *sharding) prepareShard(s int) {
 			sh.panicMu.Unlock()
 		}
 	}()
+	prepared := uint64(0)
 	for l := s; l < len(sh.lanes); l += sh.shards {
 		lq := &sh.lanes[l]
 		for len(lq.heap) > 0 {
@@ -309,10 +350,14 @@ func (sh *sharding) prepareShard(s int) {
 			ev.index = idxReady
 			if !ev.cancel && ev.prepare != nil {
 				ev.prepare()
+				prepared++
 			}
 			lq.ready = append(lq.ready, ev)
 		}
 	}
+	// Disjoint slot per shard; the sweep barrier orders this write before
+	// any ShardStats read on the engine goroutine.
+	sh.preparedBy[s] += prepared
 }
 
 func (sh *sharding) takePanic() any {
@@ -353,6 +398,47 @@ func (sh *sharding) stopWorkers() {
 		sh.work = nil
 		sh.started = false
 	}
+}
+
+// ShardStats snapshots the parallel engine's execution telemetry. It must
+// be called from the engine goroutine (like Step/RunSharded); it returns
+// zeros when sharding is not enabled.
+func (e *Engine) ShardStats() ShardStats {
+	sh := e.sh
+	if sh == nil {
+		return ShardStats{}
+	}
+	st := ShardStats{
+		Windows:       sh.windows,
+		Sweeps:        sh.sweeps,
+		LaneCommits:   sh.laneCommits,
+		BarrierWaitNs: sh.barrierWaitNs,
+	}
+	for _, n := range sh.preparedBy {
+		st.Prepared += n
+	}
+	return st
+}
+
+// LanePending reports one lane's not-yet-committed event count (scheduled
+// plus prepared); 0 when out of range or not sharded.
+func (e *Engine) LanePending(lane int) int {
+	sh := e.sh
+	if sh == nil || lane < 0 || lane >= len(sh.lanes) {
+		return 0
+	}
+	q := &sh.lanes[lane]
+	return len(q.heap) + len(q.ready) - q.next
+}
+
+// LaneCommitted reports one lane's cumulative committed event count; 0 when
+// out of range or not sharded.
+func (e *Engine) LaneCommitted(lane int) uint64 {
+	sh := e.sh
+	if sh == nil || lane < 0 || lane >= len(sh.lanes) {
+		return 0
+	}
+	return sh.lanes[lane].committed
 }
 
 // recomputeMin rescans lane queues for the earliest pending event.

@@ -267,10 +267,28 @@ func prefill(h *cache.Hierarchy, gen *workload.Generator, prof workload.CoreProf
 }
 
 // registerSystemMetrics adds machine-level series to the hub registry.
+// Shard and lane series describe how the parallel engine executed — window
+// counts, barrier stalls, lane occupancy — not what the simulation
+// computed, so they are exec-scope: visible to probes, traces and the
+// Prometheus exposition, but excluded from Result.Metrics, which must stay
+// bit-identical across shard counts.
 func (s *System) registerSystemMetrics() {
 	s.Obs.Gauge("sim.cycle", func() float64 { return float64(s.Eng.Now()) })
 	s.Obs.Gauge("sim.events_run", func() float64 { return float64(s.Eng.EventsRun()) })
 	s.Obs.Gauge("sys.cores.finished", func() float64 { return float64(s.finished) })
+	if !s.Eng.Sharded() {
+		return
+	}
+	s.Obs.ExecGauge("sim.shard.windows", func() float64 { return float64(s.Eng.ShardStats().Windows) })
+	s.Obs.ExecGauge("sim.shard.sweeps", func() float64 { return float64(s.Eng.ShardStats().Sweeps) })
+	s.Obs.ExecGauge("sim.shard.prepared", func() float64 { return float64(s.Eng.ShardStats().Prepared) })
+	s.Obs.ExecGauge("sim.shard.lane_commits", func() float64 { return float64(s.Eng.ShardStats().LaneCommits) })
+	s.Obs.ExecGauge("sim.shard.barrier_wait_ns", func() float64 { return float64(s.Eng.ShardStats().BarrierWaitNs) })
+	for l := 0; l < s.Eng.Lanes(); l++ {
+		l := l
+		s.Obs.ExecGauge(fmt.Sprintf("sim.lane.%d.pending", l), func() float64 { return float64(s.Eng.LanePending(l)) })
+		s.Obs.ExecGauge(fmt.Sprintf("sim.lane.%d.committed", l), func() float64 { return float64(s.Eng.LaneCommitted(l)) })
+	}
 }
 
 // EnableTrace attaches a tracer to the machine's hub. If the tracer admits

@@ -19,3 +19,9 @@ GOMAXPROCS=2 go test -race ./internal/sim/ ./internal/system/
 # fpbdebug swaps in the Store.Get aliasing guard; run the packages that
 # exercise it so the debug build stays green.
 go test -tags fpbdebug ./internal/pcm/ ./internal/mem/
+# End-to-end daemon smoke: real fpbd binary, one job through the full
+# lifecycle, both /metrics formats asserted. SMOKE=0 skips it (e.g. for
+# sandboxes without loopback listeners); it needs curl.
+if [ "${SMOKE:-1}" = 1 ]; then
+    ./scripts/smoke.sh
+fi

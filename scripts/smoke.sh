@@ -1,0 +1,95 @@
+#!/bin/sh
+# Daemon smoke test: builds fpbd and fpbtop, boots a daemon on a loopback
+# port, drives one job through the full lifecycle, and asserts that both
+# /metrics representations (legacy JSON and Prometheus text) reflect it —
+# the end-to-end proof behind the serving + observability stack that unit
+# tests can't give (real binary, real HTTP, real store on disk).
+#
+# Requires: go, curl. Exits non-zero on any failed assertion.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+BIN="$TMP/bin"
+LOG="$TMP/fpbd.log"
+mkdir -p "$BIN"
+
+fail() {
+    echo "smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+cleanup() {
+    [ -n "${FPBD_PID:-}" ] && kill "$FPBD_PID" 2>/dev/null || true
+    [ -n "${FPBD_PID:-}" ] && wait "$FPBD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building fpbd + fpbtop"
+go build -o "$BIN/fpbd" ./cmd/fpbd
+go build -o "$BIN/fpbtop" ./cmd/fpbtop
+
+echo "smoke: starting fpbd on :$PORT"
+"$BIN/fpbd" -addr "127.0.0.1:$PORT" -store "$TMP/store" -workers 2 \
+    -log-format json -log-level debug >"$LOG" 2>&1 &
+FPBD_PID=$!
+
+# Wait for liveness (up to ~5s).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "daemon did not become healthy"
+    sleep 0.1
+done
+
+SPEC='{"workload":"mix_1","scheme":"gcp","instr_per_core":2000}'
+
+echo "smoke: submitting a job"
+RESP="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/jobs")"
+echo "$RESP" | grep -q '"state": *"done"' || fail "job did not finish: $RESP"
+echo "$RESP" | grep -q '"outcome": *"fresh"' || fail "missing fresh lifecycle record: $RESP"
+JOB_ID="$(echo "$RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)"
+[ -n "$JOB_ID" ] || fail "no job id in response: $RESP"
+
+echo "smoke: resubmitting the identical job (must be a cache hit)"
+RESP2="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/jobs")"
+echo "$RESP2" | grep -q '"cached": *true' || fail "identical job not served from cache: $RESP2"
+echo "$RESP2" | grep -q '"outcome": *"cache-hit"' || fail "missing cache-hit lifecycle record: $RESP2"
+
+echo "smoke: checking legacy JSON metrics"
+MJSON="$(curl -fsS "$BASE/metrics")"
+echo "$MJSON" | grep -q '"serve.jobs.done": *1' || fail "serve.jobs.done != 1 in JSON: $MJSON"
+echo "$MJSON" | grep -q '"serve.cache.hits": *1' || fail "serve.cache.hits != 1 in JSON: $MJSON"
+
+echo "smoke: checking Prometheus metrics"
+MPROM="$(curl -fsS "$BASE/metrics?format=prometheus")"
+echo "$MPROM" | grep -q '^serve_jobs_done 1$' || fail "serve_jobs_done != 1 in Prometheus text"
+echo "$MPROM" | grep -q '^serve_cache_hits 1$' || fail "serve_cache_hits != 1 in Prometheus text"
+echo "$MPROM" | grep -q '^# TYPE serve_job_sim_ms histogram$' || fail "missing sim_ms histogram TYPE"
+echo "$MPROM" | grep -q '^serve_job_sim_ms_count 1$' || fail "sim_ms histogram did not record the job"
+
+echo "smoke: checking content negotiation via Accept"
+CT="$(curl -fsS -o /dev/null -w '%{content_type}' -H 'Accept: text/plain' "$BASE/metrics")"
+case "$CT" in text/plain*) : ;; *) fail "Accept: text/plain returned $CT" ;; esac
+
+echo "smoke: fpbtop one-shot snapshot"
+TOP="$("$BIN/fpbtop" -addr "127.0.0.1:$PORT" -n 1)"
+echo "$TOP" | grep -q 'cache' || fail "fpbtop rendered nothing useful: $TOP"
+echo "$TOP" | grep -q 'simulation' || fail "fpbtop missing latency table: $TOP"
+
+echo "smoke: structured logs carry the job id"
+grep -q "$JOB_ID" "$LOG" || fail "job id $JOB_ID absent from daemon logs"
+grep -q '"msg":"job done"' "$LOG" || fail "no 'job done' log line"
+
+echo "smoke: graceful shutdown"
+kill -TERM "$FPBD_PID"
+wait "$FPBD_PID" || fail "daemon exited non-zero"
+grep -q '"msg":"exit"' "$LOG" || fail "no exit-time metrics summary in logs"
+FPBD_PID=""
+
+echo "smoke: PASS"
