@@ -23,14 +23,26 @@
 // "job" key, so `grep j000042` follows one job accept → queue → worker →
 // store. cmd/fpbtop renders a live view of the /metrics exposition.
 //
-// SIGINT/SIGTERM drain gracefully: new jobs get 503, queued and in-flight
-// jobs finish (their waiting clients get responses), then the process exits.
+// Fleet mode: with -peers (or -join), the daemon becomes one member of a
+// consistent-hash cluster — it accepts sweeps (POST /v1/sweeps, driven by
+// cmd/fpbctl), executes the units it owns, fans the rest to their ring
+// owners, and replicates completed results to its key ranges' successors.
+// Every node must advertise the address its peers dial it at (-advertise)
+// and agree on -replicas/-vnodes; -join asks an existing member for the
+// fleet's member list and settings instead of spelling out -peers by hand.
+//
+// SIGINT/SIGTERM drain gracefully: new jobs get 503, running sweeps are
+// cancelled, queued and in-flight jobs finish (their waiting clients get
+// responses), then the process exits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -39,7 +51,9 @@ import (
 	"syscall"
 	"time"
 
+	"fpb/internal/cluster"
 	"fpb/internal/serve"
+	"fpb/internal/serve/client"
 )
 
 func newLogger(format, level string) (*slog.Logger, error) {
@@ -57,6 +71,29 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	return nil, errors.New("log format must be text or json")
 }
 
+// joinFleet asks an existing member for the fleet's membership and settings.
+func joinFleet(target string) (cluster.MembersStatus, error) {
+	base := client.Normalize(target)
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(base + "/v1/cluster/members")
+	if err != nil {
+		return cluster.MembersStatus{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return cluster.MembersStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return cluster.MembersStatus{}, fmt.Errorf("%s: %s", base, resp.Status)
+	}
+	var ms cluster.MembersStatus
+	if err := json.Unmarshal(body, &ms); err != nil {
+		return cluster.MembersStatus{}, err
+	}
+	return ms, nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -67,6 +104,14 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		advertise = flag.String("advertise", "", "address peers dial this node at (required with -peers/-join)")
+		peers     = flag.String("peers", "", "comma-separated peer addresses forming the fleet ring")
+		join      = flag.String("join", "", "fetch the peer list and fleet settings from this existing member")
+		replicas  = flag.Int("replicas", 0, "result replication factor R across ring owners (default 2)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per ring member (default 64; all nodes must agree)")
+		inflight  = flag.Int("sweep-inflight", 0, "max sweep units in flight per target node (default 4)")
+		probe     = flag.Duration("probe-interval", 5*time.Second, "health-probe interval for down members (0 disables)")
 	)
 	flag.Parse()
 
@@ -77,22 +122,62 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := serve.New(serve.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		StoreDir:    *store,
-		Logger:      log,
-		EnablePprof: *pprofFlag,
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if *join != "" {
+		ms, err := joinFleet(*join)
+		if err != nil {
+			log.Error("join failed", "target", *join, "err", err)
+			os.Exit(1)
+		}
+		peerList = append(peerList, *join)
+		peerList = append(peerList, ms.Members...)
+		if *replicas == 0 {
+			*replicas = ms.Replicas
+		}
+		if *vnodes == 0 {
+			*vnodes = ms.VNodes
+		}
+		log.Info("joined fleet", "via", *join, "members", len(ms.Members),
+			"replicas", *replicas, "vnodes", *vnodes)
+	}
+	if len(peerList) > 0 && *advertise == "" {
+		log.Error("fleet mode requires -advertise (the address peers dial this node at)")
+		os.Exit(2)
+	}
+
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Serve: serve.Config{
+			Workers:     *workers,
+			QueueDepth:  *queue,
+			StoreDir:    *store,
+			Logger:      log,
+			EnablePprof: *pprofFlag,
+		},
+		Self:            *advertise,
+		Peers:           peerList,
+		Replicas:        *replicas,
+		VNodes:          *vnodes,
+		PerNodeInflight: *inflight,
+		ProbeInterval:   *probe,
 	})
 	if err != nil {
 		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
+	srv := node.Server()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	httpSrv := &http.Server{Addr: *addr, Handler: node}
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("listening", "addr", *addr, "store", *store, "pprof", *pprofFlag)
+		log.Info("listening", "addr", *addr, "store", *store, "pprof", *pprofFlag,
+			"fleet", len(peerList) > 0, "advertise", *advertise, "peers", len(peerList))
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -108,7 +193,7 @@ func main() {
 	log.Info("draining")
 	drained := make(chan struct{})
 	go func() {
-		srv.Drain() // reject new jobs, finish queued + in-flight ones
+		node.Drain() // cancel sweeps, reject new jobs, finish queued + in-flight ones
 		close(drained)
 	}()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -46,7 +46,7 @@ func main() {
 		bars      = flag.Bool("bars", false, "also render each result column as an ASCII bar chart")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS); with -remote, in-flight requests")
 		shards    = flag.Int("shards", 0, "parallel engine shards per simulation (0 = sequential; results are bit-identical)")
-		remote    = flag.String("remote", "", "offload simulations to an fpbd daemon at this address (host:port)")
+		remote    = flag.String("remote", "", "offload simulations to fpbd daemon(s) at these comma-separated addresses; several addresses form a failover fleet")
 
 		runStats   = flag.Bool("runstats", false, "dump run telemetry (sims, retries, backend latency) to stderr at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -108,9 +108,25 @@ func main() {
 	reg := obs.NewRegistry()
 	opt.Metrics = reg
 	if *remote != "" {
-		cl := client.New(*remote)
-		cl.Instrument(reg)
-		opt.Backend = cl.Run
+		if addrs := strings.Split(*remote, ","); len(addrs) > 1 {
+			// Several daemons: route each job to its ring owner and fail
+			// over to replicas — the experiment neither knows nor cares
+			// how many nodes executed it.
+			fleet, err := client.NewFleet(addrs, client.FleetConfig{
+				ProbeInterval: 5 * time.Second,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpbexp:", err)
+				os.Exit(1)
+			}
+			defer fleet.Close()
+			fleet.Instrument(reg)
+			opt.Backend = fleet.Run
+		} else {
+			cl := client.New(*remote)
+			cl.Instrument(reg)
+			opt.Backend = cl.Run
+		}
 	}
 	if *runStats {
 		defer func() {

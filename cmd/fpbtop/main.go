@@ -1,4 +1,4 @@
-// Command fpbtop is a terminal dashboard for a running fpbd daemon: it
+// Command fpbtop is a terminal dashboard for running fpbd daemons: it
 // scrapes GET /metrics?format=prometheus on an interval and renders queue
 // depth, worker utilization, cache hit ratio, job throughput and lifecycle
 // latency percentiles, refreshing in place like top(1).
@@ -7,10 +7,15 @@
 //
 //	fpbtop -addr localhost:8080            # refresh every 2s until ^C
 //	fpbtop -addr localhost:8080 -n 1       # one snapshot (scripts, smoke tests)
+//	fpbtop -addr host1:8080,host2:8080     # fleet view: one row per node
 //	fpbtop -interval 500ms -no-clear       # append snapshots instead of redrawing
 //
-// fpbtop only needs the Prometheus text endpoint, so it works against
-// anything that serves the exposition — including a future fleet aggregator.
+// With several addresses fpbtop renders the per-node fleet table (queue,
+// workers, cache ratio, sweep counters, keyspace share) plus fleet totals;
+// an unreachable node shows as DOWN and, in finite -n mode, makes fpbtop
+// exit non-zero so scripted health checks fail loudly. fpbtop only needs
+// the Prometheus text endpoint, so it works against anything that serves
+// the exposition.
 package main
 
 import (
@@ -112,37 +117,94 @@ func render(w io.Writer, addr string, s map[string]float64, prev map[string]floa
 	}
 }
 
+// renderFleet prints one row per node plus fleet totals. Unreachable nodes
+// render as DOWN with the scrape error.
+func renderFleet(w io.Writer, addrs []string, samples []map[string]float64, errs []error) {
+	fmt.Fprintf(w, "fpbd fleet — %d nodes — %s\n\n", len(addrs), time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "  %-26s %9s %9s %7s %8s %6s %7s %6s\n",
+		"node", "queue", "workers", "cache%", "done", "fail", "sweeps", "own%")
+	var tDone, tFailed, tSweeps float64
+	downNodes := 0
+	for i, a := range addrs {
+		if errs[i] != nil {
+			fmt.Fprintf(w, "  %-26s DOWN (%v)\n", a, errs[i])
+			downNodes++
+			continue
+		}
+		s := samples[i]
+		hits, misses := s["serve_cache_hits"], s["serve_cache_misses"]
+		done, failed := s["serve_jobs_done"], s["serve_jobs_failed"]
+		running := s["cluster_sweeps_running"]
+		tDone += done
+		tFailed += failed
+		tSweeps += running
+		fmt.Fprintf(w, "  %-26s %5.0f/%-3.0f %5.0f/%-3.0f %6.1f%% %8.0f %6.0f %7.0f %5.1f%%\n",
+			a,
+			s["serve_queue_depth"], s["serve_queue_capacity"],
+			s["serve_workers_busy"], s["serve_workers_total"],
+			100*ratio(hits, hits+misses), done, failed, running,
+			100*s["cluster_ring_owned_share"])
+	}
+	fmt.Fprintf(w, "\n  fleet    %.0f done, %.0f failed, %.0f sweeps running, %d/%d nodes down\n",
+		tDone, tFailed, tSweeps, downNodes, len(addrs))
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8080", "fpbd address (host:port or URL)")
+		addr     = flag.String("addr", "localhost:8080", "fpbd address(es), comma-separated (host:port or URL); several addresses render the fleet view")
 		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
 		count    = flag.Int("n", 0, "number of snapshots (0 = until interrupted)")
 		noClear  = flag.Bool("no-clear", false, "append snapshots instead of redrawing the screen")
 	)
 	flag.Parse()
 
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	addrs := strings.Split(*addr, ",")
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		base := a
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		urls[i] = strings.TrimRight(base, "/") + "/metrics?format=prometheus"
 	}
-	url := strings.TrimRight(base, "/") + "/metrics?format=prometheus"
 	hc := &http.Client{Timeout: 10 * time.Second}
 
+	hadErr := false
 	var prev map[string]float64
 	for i := 0; *count == 0 || i < *count; i++ {
 		if i > 0 {
 			time.Sleep(*interval)
 		}
-		s, err := scrape(hc, url)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fpbtop:", err)
+		samples := make([]map[string]float64, len(urls))
+		errs := make([]error, len(urls))
+		for j, u := range urls {
+			samples[j], errs[j] = scrape(hc, u)
+		}
+		if len(urls) == 1 && errs[0] != nil {
+			// Single-node mode keeps the historical contract: a failed
+			// scrape is fatal immediately, whatever the mode.
+			fmt.Fprintln(os.Stderr, "fpbtop:", errs[0])
 			os.Exit(1)
 		}
 		if !*noClear && i > 0 {
 			fmt.Print("\033[H\033[2J") // cursor home + clear screen
 		}
-		render(os.Stdout, *addr, s, prev, *interval)
+		if len(urls) == 1 {
+			render(os.Stdout, addrs[0], samples[0], prev, *interval)
+			prev = samples[0]
+		} else {
+			renderFleet(os.Stdout, addrs, samples, errs)
+			for _, err := range errs {
+				if err != nil {
+					hadErr = true
+				}
+			}
+		}
 		fmt.Println()
-		prev = s
+	}
+	// Finite-snapshot fleet mode (e.g. -n 1 in smoke scripts) fails loudly
+	// when any node was unreachable.
+	if hadErr && *count > 0 {
+		os.Exit(1)
 	}
 }

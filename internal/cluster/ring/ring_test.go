@@ -1,0 +1,151 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPlacementDeterministicAndOrderIndependent(t *testing.T) {
+	a := New(64, "n1", "n2", "n3")
+	b := New(64, "n3", "n1", "n2", "n2", "")
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d, %d; want 3", a.Len(), b.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, ob := a.Owners(key, 2), b.Owners(key, 2)
+		if len(oa) != 2 || len(ob) != 2 {
+			t.Fatalf("Owners(%q) lengths %d, %d", key, len(oa), len(ob))
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("Owners(%q) differ between construction orders: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+func TestOwnersDistinctAndFull(t *testing.T) {
+	r := New(32, "a", "b", "c", "d")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		all := r.Owners(key, 0) // full failover order
+		if len(all) != 4 {
+			t.Fatalf("full owner list has %d entries: %v", len(all), all)
+		}
+		seen := map[string]bool{}
+		for _, m := range all {
+			if seen[m] {
+				t.Fatalf("duplicate member in owner list: %v", all)
+			}
+			seen[m] = true
+		}
+		// Requesting more than the member count clamps.
+		if got := r.Owners(key, 99); len(got) != 4 {
+			t.Fatalf("Owners(n=99) = %d entries", len(got))
+		}
+	}
+}
+
+func TestBalanceAndShares(t *testing.T) {
+	members := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.4:8080", "10.0.0.5:8080"}
+	r := New(DefaultVirtualNodes, members...)
+
+	shares := r.Shares()
+	sum := 0.0
+	for _, m := range members {
+		s := shares[m]
+		sum += s
+		if s < 0.05 || s > 0.45 {
+			t.Errorf("share of %s = %.3f, badly unbalanced", m, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", sum)
+	}
+
+	// Empirical placement should roughly match the analytic shares.
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d-%d", i, rng.Int63()))]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if diff := frac - shares[m]; diff < -0.05 || diff > 0.05 {
+			t.Errorf("member %s: empirical %.3f vs analytic share %.3f", m, frac, shares[m])
+		}
+	}
+}
+
+func TestMembershipChangeMovesFewKeys(t *testing.T) {
+	before := New(64, "a", "b", "c", "d")
+	after := New(64, "a", "b", "c") // d removed
+	moved, total := 0, 5000
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != "d" && ob != oa {
+			moved++
+		}
+	}
+	// Keys not owned by the removed member must not move at all; allow zero
+	// tolerance — that is the consistent-hashing contract.
+	if moved != 0 {
+		t.Fatalf("%d/%d keys owned by surviving members moved on member removal", moved, total)
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := New(8, "solo")
+	if got := r.Owner("anything"); got != "solo" {
+		t.Fatalf("Owner = %q", got)
+	}
+	shares := r.Shares()
+	if s := shares["solo"]; s < 0.999 || s > 1.001 {
+		t.Fatalf("solo share = %v", s)
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(8)
+	if r.Owner("k") != "" || r.Owners("k", 3) != nil || r.Len() != 0 {
+		t.Fatal("empty ring should own nothing")
+	}
+}
+
+func TestTrackerCooldownAndRecovery(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tr := NewTracker(5 * time.Second)
+	tr.SetClock(func() time.Time { return now })
+
+	if !tr.Alive("n1") {
+		t.Fatal("unknown member should be alive")
+	}
+	tr.MarkDown("n1")
+	if tr.Alive("n1") {
+		t.Fatal("n1 should be down")
+	}
+	if d := tr.Down(); len(d) != 1 || d[0] != "n1" {
+		t.Fatalf("Down = %v", d)
+	}
+
+	// Explicit recovery.
+	tr.MarkAlive("n1")
+	if !tr.Alive("n1") {
+		t.Fatal("MarkAlive should clear down state")
+	}
+
+	// Cooldown-based recovery.
+	tr.MarkDown("n1")
+	now = now.Add(6 * time.Second)
+	if !tr.Alive("n1") {
+		t.Fatal("cooldown elapsed; n1 should be retryable")
+	}
+	if d := tr.Down(); len(d) != 0 {
+		t.Fatalf("Down after recovery = %v", d)
+	}
+}

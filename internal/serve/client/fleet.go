@@ -1,0 +1,319 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fpb/internal/cluster/ring"
+	"fpb/internal/obs"
+	"fpb/internal/serve"
+	"fpb/internal/sim"
+	"fpb/internal/system"
+)
+
+// FleetConfig tunes a Fleet client.
+type FleetConfig struct {
+	// VNodes is the ring's virtual-node count per member (default
+	// ring.DefaultVirtualNodes). Every fleet participant must agree on it.
+	VNodes int
+	// Cooldown is how long a node that failed a request is skipped before
+	// routing optimistically retries it (default ring.DefaultCooldown).
+	Cooldown time.Duration
+	// ProbeInterval enables a background health prober that re-admits
+	// recovered nodes early (and detects silently dead ones). 0 disables
+	// it; failure-driven marking plus the cooldown still work.
+	ProbeInterval time.Duration
+	// RetryBudget bounds how long Do cycles the replica set when every
+	// node is busy or down (default 2 minutes, like Client).
+	RetryBudget time.Duration
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = ring.DefaultVirtualNodes
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = ring.DefaultCooldown
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 2 * time.Minute
+	}
+	return c
+}
+
+// Fleet is the multi-node, failover-aware client for a consistent-hash
+// cluster of fpbd daemons. Each job routes to the ring owner of its
+// system.Key — the node whose content-addressed store is hot for that key —
+// and walks the key's successor list when the owner is down, draining, or
+// pushing back with 429. Placement is deterministic (same ring as the
+// daemons themselves), so every client sends the same key to the same node
+// and the fleet's caches stay partitioned instead of duplicated.
+//
+// Health state is failure-driven (a node that errors is skipped for
+// Cooldown) and, optionally, probe-driven: with ProbeInterval set, a
+// background goroutine re-checks /healthz of every down node so recovered
+// nodes rejoin the routing table before their cooldown expires. Close stops
+// the prober.
+type Fleet struct {
+	cfg     FleetConfig
+	ring    *ring.Ring
+	tracker *ring.Tracker
+	clients map[string]*Client
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	// Telemetry (nil-safe until Instrument).
+	cRequests  *obs.Counter
+	cRetry429  *obs.Counter
+	cErrors    *obs.Counter
+	cFailovers *obs.Counter
+	cProbes    *obs.Counter
+	hRequestMs *obs.Histogram
+}
+
+// NewFleet builds a fleet client over the node addresses (each "host:port"
+// or a full URL; duplicates collapse after normalization). A single address
+// degenerates to plain single-node routing, so callers can always construct
+// a Fleet and forget whether the deployment is one daemon or twenty.
+func NewFleet(addrs []string, cfg FleetConfig) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	members := make([]string, 0, len(addrs))
+	clients := make(map[string]*Client, len(addrs))
+	for _, a := range addrs {
+		base := Normalize(a)
+		if _, dup := clients[base]; dup {
+			continue
+		}
+		clients[base] = New(base)
+		members = append(members, base)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("client: fleet: no node addresses")
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		ring:    ring.New(cfg.VNodes, members...),
+		tracker: ring.NewTracker(cfg.Cooldown),
+		clients: clients,
+		stop:    make(chan struct{}),
+	}
+	if cfg.ProbeInterval > 0 {
+		f.wg.Add(1)
+		go f.probeLoop()
+	}
+	return f, nil
+}
+
+// Ring exposes the fleet's placement ring (read-only).
+func (f *Fleet) Ring() *ring.Ring { return f.ring }
+
+// Nodes returns the normalized member addresses, sorted.
+func (f *Fleet) Nodes() []string { return f.ring.Members() }
+
+// Instrument registers the fleet's telemetry into reg: the same client.*
+// series a single-node Client exposes (so fpbexp -runstats output is
+// uniform) plus fleet-specific failover and health series.
+func (f *Fleet) Instrument(reg *obs.Registry) {
+	f.cRequests = reg.Counter("client.requests")
+	f.cRetry429 = reg.Counter("client.retries_429")
+	f.cErrors = reg.Counter("client.errors")
+	f.hRequestMs = reg.Histogram("client.request_ms", obs.LatencyBucketsMs)
+	f.cFailovers = reg.Counter("client.fleet.failovers")
+	f.cProbes = reg.Counter("client.fleet.probes")
+	reg.Gauge("client.fleet.nodes", func() float64 { return float64(f.ring.Len()) })
+	reg.Gauge("client.fleet.nodes_down", func() float64 { return float64(len(f.tracker.Down())) })
+	for name, help := range map[string]string{
+		"client.requests":         "jobs submitted to the fleet",
+		"client.retries_429":      "429 pushback responses observed across replicas",
+		"client.errors":           "job submissions that failed terminally",
+		"client.request_ms":       "end-to-end fleet job latency incl. failover (ms)",
+		"client.fleet.failovers":  "requests moved to a successor replica after a node failure",
+		"client.fleet.probes":     "background health probes issued",
+		"client.fleet.nodes":      "configured fleet members",
+		"client.fleet.nodes_down": "members currently believed down",
+	} {
+		reg.SetHelp(name, help)
+	}
+}
+
+// Close stops the background prober (if any) and waits for it.
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// probeLoop re-probes down members every ProbeInterval so recovered nodes
+// rejoin routing promptly. Alive members are left alone — regular traffic
+// is their health check.
+func (f *Fleet) probeLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeInterval)
+			f.ProbeDown(ctx)
+			cancel()
+		}
+	}
+}
+
+// ProbeDown health-checks every member currently marked down, re-admitting
+// the ones that answer. Exposed for tests and one-shot tooling.
+func (f *Fleet) ProbeDown(ctx context.Context) {
+	for _, m := range f.tracker.Down() {
+		f.cProbes.Inc()
+		if err := f.clients[m].Health(ctx); err == nil {
+			f.tracker.MarkAlive(m)
+		} else {
+			f.tracker.MarkDown(m) // refresh the cooldown
+		}
+	}
+}
+
+// MarkDown force-marks a member down (used by the coordinator when it
+// observes a failure through its own traffic).
+func (f *Fleet) MarkDown(member string) { f.tracker.MarkDown(Normalize(member)) }
+
+// Do submits one job to the fleet and returns its final status. Routing:
+// the replica preference order for the job's system.Key, skipping members
+// currently believed down; a transport/5xx failure marks the node down and
+// moves on (retry-on-next-replica); a 429 moves on immediately without
+// marking the node down. When a full pass over the order yields only busy
+// nodes, Do sleeps the smallest advertised Retry-After (jittered) and
+// cycles again until ctx or the retry budget expires. 4xx responses are
+// terminal — a bad spec fails identically on every replica.
+func (f *Fleet) Do(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, error) {
+	cfg, wl, err := spec.Resolve()
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	return f.do(ctx, spec, system.Key(cfg, wl))
+}
+
+func (f *Fleet) do(ctx context.Context, spec serve.JobSpec, key string) (serve.JobStatus, error) {
+	f.cRequests.Inc()
+	start := time.Now()
+	st, err := f.doFailover(ctx, spec, key)
+	f.hRequestMs.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	if err != nil {
+		f.cErrors.Inc()
+	}
+	return st, err
+}
+
+func (f *Fleet) doFailover(ctx context.Context, spec serve.JobSpec, key string) (serve.JobStatus, error) {
+	order := f.ring.Owners(key, 0) // full deterministic failover order
+	deadline := time.Now().Add(f.cfg.RetryBudget)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		busyWait := time.Duration(0)
+		tried := 0
+		for i, m := range order {
+			// Skip members believed down — except on a full pass where
+			// nothing was reachable; then try everyone as a last resort.
+			if attempt > 0 || f.tracker.Alive(m) {
+				st, err := f.clients[m].Submit(ctx, spec)
+				tried++
+				if err == nil {
+					return st, nil
+				}
+				lastErr = err
+				var busy *BusyError
+				var status *StatusError
+				switch {
+				case errors.As(err, &busy):
+					f.cRetry429.Inc()
+					if busyWait == 0 || busy.After < busyWait {
+						busyWait = busy.After
+					}
+				case errors.As(err, &status) && status.Code < 500 && status.Code != 429:
+					// Bad spec or failed simulation: every replica would
+					// answer the same. Terminal.
+					return serve.JobStatus{}, err
+				default:
+					// Transport error or 5xx: the node is unhealthy.
+					f.tracker.MarkDown(m)
+					if i < len(order)-1 {
+						f.cFailovers.Inc()
+					}
+				}
+				if ctx.Err() != nil {
+					return serve.JobStatus{}, ctx.Err()
+				}
+			}
+		}
+		if tried == 0 {
+			// Everything was marked down and not yet cooled down; next
+			// pass ignores the tracker.
+			continue
+		}
+		if time.Now().After(deadline) {
+			return serve.JobStatus{}, fmt.Errorf("client: fleet retry budget exhausted: %w", lastErr)
+		}
+		select {
+		case <-time.After(RetryDelay(busyWait)):
+		case <-ctx.Done():
+			return serve.JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// Result fetches a stored result by content key, walking the key's replica
+// order: the primary owner first, then successors (which hold it when the
+// replication factor is > 1 or a failover executed it elsewhere). ok=false
+// means no reachable node holds the key.
+func (f *Fleet) Result(ctx context.Context, key string) (system.Result, bool, error) {
+	var lastErr error
+	for _, m := range f.ring.Owners(key, 0) {
+		if !f.tracker.Alive(m) {
+			continue
+		}
+		res, ok, err := f.clients[m].Result(ctx, key)
+		if err != nil {
+			lastErr = err
+			f.tracker.MarkDown(m)
+			continue
+		}
+		if ok {
+			return res, true, nil
+		}
+	}
+	return system.Result{}, false, lastErr
+}
+
+// Run simulates one (config, workload) pair on the fleet; its signature
+// matches exp.Backend, so `fpbexp -remote host1,host2,host3` plugs a whole
+// cluster under an experiment Runner.
+func (f *Fleet) Run(cfg sim.Config, wl string) (system.Result, error) {
+	st, err := f.Do(context.Background(), serve.JobSpec{Workload: wl, Config: &cfg})
+	if err != nil {
+		return system.Result{}, err
+	}
+	if st.State != serve.StateDone || st.Result == nil {
+		return system.Result{}, fmt.Errorf("client: fleet job %s: state %s: %s", st.ID, st.State, st.Error)
+	}
+	return *st.Result, nil
+}
+
+// Owners reports the replica preference order the fleet would use for one
+// (config, workload) pair — handy for tooling (fpbctl members) and tests.
+func (f *Fleet) Owners(cfg sim.Config, wl string) []string {
+	return f.ring.Owners(system.Key(cfg, wl), 0)
+}
+
+// DownNodes lists members currently believed down, sorted.
+func (f *Fleet) DownNodes() []string {
+	d := f.tracker.Down()
+	sort.Strings(d)
+	return d
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -166,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -232,7 +234,18 @@ func (s *Server) registerMetrics() {
 }
 
 // Registry exposes the server's metrics registry (e.g. for logging at exit).
+// The cluster layer registers its ring/sweep series here so one /metrics
+// scrape covers a node's serving and fleet state.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Store exposes the content-addressed result store (nil when persistence is
+// disabled). The cluster layer writes replicated results through it and the
+// /v1/results endpoint reads from it.
+func (s *Server) Store() *Store { return s.store }
+
+// Logger exposes the server's structured logger so embedding layers (the
+// cluster node) log through the same handler and level.
+func (s *Server) Logger() *slog.Logger { return s.log }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -302,6 +315,19 @@ func (s *Server) worker() {
 // lifecycle histogram and log field).
 func durMs(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
+// formatRetryAfter renders the configured backoff as seconds for the
+// Retry-After header — exactly, not rounded up to whole seconds, so clients
+// configured with a sub-second RetryAfter back off for that long instead of
+// a full second. Whole seconds stay integers (the RFC form); fractions are
+// non-standard but our client parses them and third-party clients that
+// don't simply fall back to their own default.
+func formatRetryAfter(d time.Duration) string {
+	if d%time.Second == 0 {
+		return strconv.Itoa(int(d / time.Second))
+	}
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
 // submit resolves a request to a job: a store hit returns an already-done
 // synthetic job, an identical in-flight job coalesces, and otherwise a new
 // job is enqueued — or rejected when the queue is full (coalesced=false,
@@ -312,6 +338,41 @@ type httpError struct {
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// Sentinel errors RunLocal maps the HTTP pushback statuses onto, so embedded
+// callers (the cluster coordinator running a job on its own node) can
+// distinguish "try again / try elsewhere" from a genuine failure without
+// going through a loopback socket.
+var (
+	// ErrBusy is queue-full pushback (the 429 path).
+	ErrBusy = errors.New("serve: job queue is full")
+	// ErrDraining means the server is shutting down (the 503 path).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// RunLocal pushes one job through the server's full pipeline — store
+// lookup, singleflight dedupe, queue, worker pool, persistence — and blocks
+// until it finishes. It is exactly the sync POST /v1/jobs path minus HTTP:
+// same backpressure (ErrBusy when the queue is full, ErrDraining during
+// shutdown), same lifecycle records, same metrics. cached reports a store
+// hit or coalesced join, like JobStatus.Cached.
+func (s *Server) RunLocal(cfg sim.Config, wl string) (st JobStatus, cached bool, err error) {
+	j, cached, herr := s.submit(cfg, wl)
+	if herr != nil {
+		switch herr.status {
+		case http.StatusTooManyRequests:
+			return JobStatus{}, false, ErrBusy
+		case http.StatusServiceUnavailable:
+			return JobStatus{}, false, ErrDraining
+		default:
+			return JobStatus{}, false, errors.New(herr.msg)
+		}
+	}
+	<-j.done
+	st = j.status() // done => fields frozen, no lock needed
+	st.Cached = cached
+	return st, cached, nil
+}
 
 func (s *Server) submit(cfg sim.Config, wl string) (j *job, cached bool, err *httpError) {
 	key := system.Key(cfg, wl)
@@ -483,7 +544,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, cached, herr := s.submit(cfg, wl)
 	if herr != nil {
 		if herr.status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", formatRetryAfter(s.cfg.RetryAfter))
 		}
 		s.writeJSON(w, herr.status, JobStatus{State: StateFailed, Error: herr.msg})
 		return
@@ -517,6 +578,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusUnprocessableEntity
 	}
 	s.writeJSON(w, code, st)
+}
+
+// handleResult serves a stored result by its content key, from the LOCAL
+// store only — no proxying, no simulation. Replica-aware callers (the fleet
+// client, the sweep coordinator's replication checks) use it to read a key
+// from whichever ring owner answers; a miss is a plain 404 so the caller can
+// move on to the next replica.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.store == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "no persistent store on this node"})
+		return
+	}
+	res, ok, err := s.store.Get(key)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "no result for key " + key})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

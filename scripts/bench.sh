@@ -38,6 +38,21 @@ while [ $# -gt 0 ]; do
     shift
 done
 
+# Staleness check: warn when the committed bench/ snapshots predate the
+# newest commit touching a perf-relevant tree — baselines go stale silently
+# otherwise, and -compare then flags phantom regressions (or misses real
+# ones). Warning only: measuring is still the right move, that's what this
+# script is for.
+PERF_PATHS="internal/sim internal/pcm internal/power internal/cache internal/mem internal/core internal/cpu internal/system cmd/fpbbench"
+if git rev-parse --git-dir >/dev/null 2>&1; then
+    # shellcheck disable=SC2086 # PERF_PATHS is a deliberate word list
+    LAST_PERF=$(git log -1 --format=%ct HEAD -- $PERF_PATHS 2>/dev/null || true)
+    LAST_SNAP=$(git log -1 --format=%ct HEAD -- bench/ 2>/dev/null || true)
+    if [ -n "${LAST_PERF:-}" ] && [ "${LAST_SNAP:-0}" -lt "$LAST_PERF" ]; then
+        echo "bench.sh: WARNING: newest bench/ snapshot ($(date -d "@${LAST_SNAP:-0}" +%F 2>/dev/null || echo never)) predates the newest perf-touching commit ($(date -d "@$LAST_PERF" +%F 2>/dev/null || echo '?')); consider committing a fresh snapshot" >&2
+    fi
+fi
+
 REV=$(git rev-parse --short HEAD 2>/dev/null || echo workdir)
 if ! git diff --quiet 2>/dev/null; then
     REV="${REV}-dirty"

@@ -18,14 +18,20 @@ mkdir -p "$BIN"
 
 fail() {
     echo "smoke: FAIL: $*" >&2
-    echo "--- daemon log ---" >&2
-    cat "$LOG" >&2 || true
+    for l in "$LOG" "$TMP"/fleet1.log "$TMP"/fleet2.log "$TMP"/fleet3.log; do
+        if [ -s "$l" ]; then
+            echo "--- $l ---" >&2
+            cat "$l" >&2
+        fi
+    done
     exit 1
 }
 
 cleanup() {
-    [ -n "${FPBD_PID:-}" ] && kill "$FPBD_PID" 2>/dev/null || true
-    [ -n "${FPBD_PID:-}" ] && wait "$FPBD_PID" 2>/dev/null || true
+    for pid in "${FPBD_PID:-}" "${FLEET1_PID:-}" "${FLEET2_PID:-}" "${FLEET3_PID:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
     rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
@@ -91,5 +97,84 @@ kill -TERM "$FPBD_PID"
 wait "$FPBD_PID" || fail "daemon exited non-zero"
 grep -q '"msg":"exit"' "$LOG" || fail "no exit-time metrics summary in logs"
 FPBD_PID=""
+
+# ---------------------------------------------------------------------------
+# Fleet smoke: a 3-node consistent-hash cluster. Submits a sweep through
+# fpbctl, kills one member, and asserts the fleet still completes sweeps and
+# exposes its ring/sweep metrics. FLEET_SMOKE=0 skips this section.
+# ---------------------------------------------------------------------------
+if [ "${FLEET_SMOKE:-1}" = 1 ]; then
+    echo "smoke: building fpbctl"
+    go build -o "$BIN/fpbctl" ./cmd/fpbctl
+
+    P1=$((PORT + 1))
+    P2=$((PORT + 2))
+    P3=$((PORT + 3))
+    A1="127.0.0.1:$P1"
+    A2="127.0.0.1:$P2"
+    A3="127.0.0.1:$P3"
+
+    echo "smoke: starting a 3-node fleet on :$P1 :$P2 :$P3"
+    "$BIN/fpbd" -addr "$A1" -advertise "$A1" -peers "$A2,$A3" -replicas 2 \
+        -store "$TMP/fleet1" -workers 2 -log-format json >"$TMP/fleet1.log" 2>&1 &
+    FLEET1_PID=$!
+    "$BIN/fpbd" -addr "$A2" -advertise "$A2" -peers "$A1,$A3" -replicas 2 \
+        -store "$TMP/fleet2" -workers 2 -log-format json >"$TMP/fleet2.log" 2>&1 &
+    FLEET2_PID=$!
+    "$BIN/fpbd" -addr "$A3" -advertise "$A3" -peers "$A1,$A2" -replicas 2 \
+        -store "$TMP/fleet3" -workers 2 -log-format json >"$TMP/fleet3.log" 2>&1 &
+    FLEET3_PID=$!
+
+    for a in "$A1" "$A2" "$A3"; do
+        i=0
+        until curl -fsS "http://$a/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            [ "$i" -ge 50 ] && fail "fleet node $a did not become healthy"
+            sleep 0.1
+        done
+    done
+
+    echo "smoke: fleet membership"
+    MEMBERS="$("$BIN/fpbctl" -addr "$A1" members)" || fail "fpbctl members failed"
+    echo "$MEMBERS" | grep -q '3 members' || fail "expected 3 members: $MEMBERS"
+
+    echo "smoke: fleet sweep (2 schemes x 2 workloads) via fpbctl"
+    SWEEP="$("$BIN/fpbctl" -addr "$A1" sweep -schemes gcp,ideal -workloads mcf_m,mix_1 \
+        -seed 7 -instr 2000 -wait)" || fail "fleet sweep failed: ${SWEEP:-}"
+    echo "$SWEEP" | grep -q '4/4 done' || fail "sweep incomplete: $SWEEP"
+
+    echo "smoke: fpbtop fleet view"
+    TOPF="$("$BIN/fpbtop" -addr "$A1,$A2,$A3" -n 1)" || fail "fpbtop fleet view failed"
+    echo "$TOPF" | grep -q 'fleet' || fail "fpbtop missing fleet totals: $TOPF"
+
+    echo "smoke: killing one fleet member"
+    kill -9 "$FLEET3_PID" 2>/dev/null || true
+    wait "$FLEET3_PID" 2>/dev/null || true
+    FLEET3_PID=""
+
+    echo "smoke: sweep still completes with a dead member"
+    SWEEP2="$("$BIN/fpbctl" -addr "$A1" sweep -schemes gcp,ideal -workloads xal_m,mum_m \
+        -seed 8 -instr 2000 -wait)" || fail "post-kill sweep failed: ${SWEEP2:-}"
+    echo "$SWEEP2" | grep -q '4/4 done' || fail "post-kill sweep incomplete: $SWEEP2"
+
+    echo "smoke: Prometheus fleet metrics"
+    MFLEET="$(curl -fsS "http://$A1/metrics?format=prometheus")"
+    echo "$MFLEET" | grep -q '^cluster_ring_members 3$' || fail "missing cluster_ring_members"
+    echo "$MFLEET" | grep -q '^cluster_sweeps_done [1-9]' || fail "missing cluster_sweeps_done"
+    echo "$MFLEET" | grep -q '^cluster_jobs_done [1-9]' || fail "missing cluster_jobs_done"
+
+    echo "smoke: fpbtop one-shot exits non-zero with a down member"
+    if "$BIN/fpbtop" -addr "$A1,$A2,$A3" -n 1 >/dev/null 2>&1; then
+        fail "fpbtop should exit non-zero when a fleet member is unreachable"
+    fi
+
+    echo "smoke: fleet graceful shutdown"
+    for pid in "$FLEET1_PID" "$FLEET2_PID"; do
+        kill -TERM "$pid"
+        wait "$pid" || fail "fleet daemon exited non-zero"
+    done
+    FLEET1_PID=""
+    FLEET2_PID=""
+fi
 
 echo "smoke: PASS"
