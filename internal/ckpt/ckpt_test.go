@@ -1,0 +1,164 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestWriterReaderRoundTrip pins the primitive encodings: every value written
+// comes back exactly, and the image survives its own integrity check.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section("test")
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 + 12345)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.Bytes([]byte{1, 2, 3})
+	w.Bytes(nil)
+	w.String("hello, 世界")
+	w.U64s([]uint64{7, 8, 9})
+	img := w.Finish()
+
+	r, err := NewReader(img)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Section("test")
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8: got %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32: got %#x", got)
+	}
+	if got := r.U64(); got != 1<<63+12345 {
+		t.Errorf("U64: got %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64: got %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64: got %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 -Inf: got %v", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes: got %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes: got %v", got)
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Errorf("String: got %q", got)
+	}
+	got := r.U64s()
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Errorf("U64s: got %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+}
+
+// TestReaderRejects pins the loud-failure contract of the header checks and
+// the sticky error model.
+func TestReaderRejects(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	img := w.Finish()
+
+	if _, err := NewReader(img[:4]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] ^= 0xFF
+	if _, err := NewReader(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	flip := append([]byte(nil), img...)
+	flip[len(flip)-1] ^= 0x01
+	if _, err := NewReader(flip); err == nil {
+		t.Error("corrupt trailer accepted")
+	}
+
+	r, err := NewReader(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("nope") // payload is a U64, not this section
+	if r.Err() == nil {
+		t.Error("section mismatch not detected")
+	}
+	first := r.Err()
+	_ = r.U64() // past the end; sticky error must keep the first cause
+	if r.Err() != first {
+		t.Errorf("sticky error replaced: %v -> %v", first, r.Err())
+	}
+}
+
+// FuzzCheckpointRoundTrip fuzzes the format on two axes at once. The raw
+// image bytes go through NewReader, which must never panic or accept a
+// tampered trailer; and the fuzz inputs are also interpreted as values for a
+// write-read round trip, which must reproduce them exactly.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint64(0), "s")
+	f.Add([]byte{0xFF}, uint64(1<<40), "section")
+	f.Add(NewWriter().Finish(), uint64(42), "")
+	f.Fuzz(func(t *testing.T, raw []byte, v uint64, name string) {
+		// Axis 1: arbitrary bytes must decode safely or fail loudly.
+		if r, err := NewReader(raw); err == nil {
+			r.Section(name)
+			_ = r.U64()
+			_ = r.Bytes()
+			_ = r.U64s()
+			_ = r.String()
+		}
+
+		// Axis 2: a well-formed image must round-trip bit for bit.
+		w := NewWriter()
+		w.Section(name)
+		w.U64(v)
+		w.Bytes(raw)
+		w.F64(math.Float64frombits(v))
+		img := w.Finish()
+		r, err := NewReader(img)
+		if err != nil {
+			t.Fatalf("own image rejected: %v", err)
+		}
+		r.Section(name)
+		if got := r.U64(); got != v {
+			t.Fatalf("U64 round trip: wrote %d, read %d", v, got)
+		}
+		if got := r.Bytes(); !bytes.Equal(got, raw) {
+			t.Fatalf("Bytes round trip: wrote %d bytes, read %d", len(raw), len(got))
+		}
+		if got := r.F64(); math.Float64bits(got) != v {
+			t.Fatalf("F64 round trip: bits %#x != %#x", math.Float64bits(got), v)
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("decode error on own image: %v", err)
+		}
+
+		// Tampering with any byte of the body must fail the integrity check.
+		if len(img) > 0 {
+			mut := append([]byte(nil), img...)
+			mut[int(v)%len(mut)] ^= 0x80
+			if r2, err := NewReader(mut); err == nil {
+				// The flipped bit landed in... nowhere it can hide: body
+				// flips break the hash, trailer flips break the comparison,
+				// magic flips fail the prefix check.
+				_ = r2
+				t.Fatal("tampered image passed the integrity check")
+			}
+		}
+	})
+}

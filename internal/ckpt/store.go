@@ -1,0 +1,169 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is a content-addressed checkpoint image store: one file per key
+// under a directory, written atomically. Keys are 64-character lowercase
+// hex strings (SHA-256, the same shape as system.Key), validated before any
+// path is formed so a hostile key cannot escape the store directory.
+//
+// Store also coordinates concurrent producers in-process: the first caller
+// to Claim a missing key becomes its producer, and everyone else blocks in
+// Wait until the producer Puts the image (or abandons the claim). That is
+// what turns a sweep of grid points sharing one warmup prefix into a single
+// warmup simulation followed by N restores.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	claims map[string]chan struct{} // key -> closed when settled
+}
+
+// NewStore opens (creating if needed) a checkpoint store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt: store directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create store directory: %w", err)
+	}
+	return &Store{dir: dir, claims: make(map[string]chan struct{})}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its on-disk location, rejecting anything that is not a
+// 64-character lowercase hex digest.
+func (s *Store) path(key string) (string, error) {
+	if err := ValidateKey(key); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.dir, key+".fpbckpt"), nil
+}
+
+// ValidateKey reports whether key is a well-formed checkpoint key (64
+// lowercase hex characters).
+func ValidateKey(key string) error {
+	if len(key) != 64 {
+		return fmt.Errorf("ckpt: invalid key %q: want 64 hex characters", key)
+	}
+	for _, c := range key {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return fmt.Errorf("ckpt: invalid key %q: want lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+// Get returns the stored image for key, or (nil, false, nil) if absent.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	img, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: read %s: %w", key, err)
+	}
+	return img, true, nil
+}
+
+// Put stores an image under key (atomic write: temp file + rename) and
+// settles any in-process claim so waiters wake up.
+func (s *Store) Put(key string, img []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: write %s: %w", key, err)
+	}
+	s.settle(key)
+	return nil
+}
+
+// Len reports how many images the store holds.
+func (s *Store) Len() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: list store: %w", err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".fpbckpt") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Claim registers the caller as the producer for key if no image exists and
+// nobody else holds the claim. It returns:
+//
+//   - img, when the image is already stored (no claim taken);
+//   - claimed=true, when the caller must now produce the image and finish
+//     with Put (success) or Abandon (failure);
+//   - neither, when another in-process producer holds the claim — call Wait.
+func (s *Store) Claim(key string) (img []byte, claimed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if img, ok, err := s.Get(key); err != nil || ok {
+		return img, false, err
+	}
+	if _, busy := s.claims[key]; busy {
+		return nil, false, nil
+	}
+	s.claims[key] = make(chan struct{})
+	return nil, true, nil
+}
+
+// Wait blocks until the key's in-process claim settles, then re-reads the
+// store. ok is false if the producer abandoned the claim without storing an
+// image (the caller should fall back to a cold run or re-Claim).
+func (s *Store) Wait(key string) (img []byte, ok bool, err error) {
+	s.mu.Lock()
+	ch, busy := s.claims[key]
+	s.mu.Unlock()
+	if busy {
+		<-ch
+	}
+	return s.Get(key)
+}
+
+// Abandon releases a claim taken by Claim without storing an image, waking
+// waiters so they can fall back to cold runs.
+func (s *Store) Abandon(key string) { s.settle(key) }
+
+func (s *Store) settle(key string) {
+	s.mu.Lock()
+	if ch, ok := s.claims[key]; ok {
+		close(ch)
+		delete(s.claims, key)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,106 @@
+package ckpt
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testKey(b byte) string {
+	return strings.Repeat(string([]byte{'a' + b%6}), 64)
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("empty store returned an image")
+	}
+	img := NewWriter().Finish()
+	if err := s.Put(key, img); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, img) {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", strings.Repeat("A", 64), // uppercase
+		strings.Repeat("z", 64),                        // not hex
+		"../../../../etc/passwd0000000000000000000000", // traversal shape
+	} {
+		if err := s.Put(key, nil); err == nil {
+			t.Errorf("Put accepted invalid key %q", key)
+		}
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get accepted invalid key %q", key)
+		}
+	}
+}
+
+// TestStoreClaimWait pins the singleflight protocol: one producer, waiters
+// blocked until Put; Abandon wakes waiters empty-handed.
+func TestStoreClaimWait(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	img, claimed, err := s.Claim(key)
+	if err != nil || img != nil || !claimed {
+		t.Fatalf("first Claim: img=%v claimed=%v err=%v", img, claimed, err)
+	}
+	if _, c2, _ := s.Claim(key); c2 {
+		t.Fatal("second Claim also won")
+	}
+	want := NewWriter().Finish()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, ok, err := s.Wait(key)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Errorf("Wait: ok=%v err=%v", ok, err)
+			}
+		}()
+	}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// The claim settled: a later Claim sees the stored image.
+	img, claimed, err = s.Claim(key)
+	if err != nil || claimed || !bytes.Equal(img, want) {
+		t.Fatalf("Claim after Put: claimed=%v err=%v", claimed, err)
+	}
+
+	// Abandon path: waiters wake with ok=false.
+	key2 := testKey(2)
+	if _, claimed, _ = s.Claim(key2); !claimed {
+		t.Fatal("claim on fresh key lost")
+	}
+	done := make(chan bool)
+	go func() {
+		_, ok, _ := s.Wait(key2)
+		done <- ok
+	}()
+	s.Abandon(key2)
+	if ok := <-done; ok {
+		t.Error("waiter got an image from an abandoned claim")
+	}
+}

@@ -237,3 +237,50 @@ func TestPrewarmDispatchNotBlockedBySlowSimulations(t *testing.T) {
 		t.Errorf("Prewarm ran %d simulations, want 4", r.Simulations())
 	}
 }
+
+// TestRunnerWarmStartSweep is the end-to-end warm-start contract at the
+// experiment layer: a sweep of schemes sharing one warmup prefix simulates
+// the prefix exactly once, warm-starts everything else, and produces tables
+// identical to a checkpoint-free runner's.
+func TestRunnerWarmStartSweep(t *testing.T) {
+	mk := func(dir string) *Runner {
+		return NewRunner(Options{
+			InstrPerCore:  3000,
+			Workloads:     []string{"mcf_m"},
+			WarmupCycles:  40_000,
+			CheckpointDir: dir,
+		})
+	}
+	norm := Variant{Label: "DIMM+chip", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeDIMMChip }}
+	variants := []Variant{
+		{Label: "GCP", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeGCP }},
+		{Label: "GCP+IPM", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeGCPIPM }},
+		{Label: "FPB", Mutate: func(c *sim.Config) { c.Scheme = sim.SchemeGCPIPMMR }},
+	}
+
+	warm := mk(t.TempDir())
+	got, err := warm.SpeedupTable("t", norm, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims := warm.Simulations(); sims != 4 {
+		t.Fatalf("sweep ran %d simulations, want 4", sims)
+	}
+	// Exactly one grid point (the checkpoint producer) ran the warmup
+	// phase; the other three restored it.
+	if ws := warm.WarmStarts(); ws != 3 {
+		t.Errorf("WarmStarts() = %d, want 3", ws)
+	}
+
+	cold := mk("")
+	want, err := cold.SpeedupTable("t", norm, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarts() != 0 {
+		t.Errorf("checkpoint-free runner reported warm starts")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("warm-started sweep table differs from cold sweep table:\n cold: %+v\n warm: %+v", want, got)
+	}
+}

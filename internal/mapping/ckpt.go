@@ -1,0 +1,74 @@
+package mapping
+
+import (
+	"sort"
+
+	"fpb/internal/ckpt"
+)
+
+func sortedKeys(m map[uint64]int) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// SaveState serializes the rotator's dynamic state: the offset and write
+// maps (in ascending line order, so the encoding is map-iteration-free) and
+// the RNG stream. ShiftEvery and the cell count are configuration, rebuilt
+// by NewRotator on restore.
+func (r *Rotator) SaveState(w *ckpt.Writer) {
+	w.Section("mapping.rot")
+	s := r.rng.State()
+	w.U64(s[0])
+	w.U64(s[1])
+	w.U64(s[2])
+	w.U64(s[3])
+	offs := sortedKeys(r.offsets)
+	w.U64(uint64(len(offs)))
+	for _, k := range offs {
+		w.U64(k)
+		w.I64(int64(r.offsets[k]))
+	}
+	wrs := sortedKeys(r.writes)
+	w.U64(uint64(len(wrs)))
+	for _, k := range wrs {
+		w.U64(k)
+		w.I64(int64(r.writes[k]))
+	}
+}
+
+// RestoreState loads state written by SaveState, replacing the rotator's
+// maps and RNG stream.
+func (r *Rotator) RestoreState(rd *ckpt.Reader) error {
+	rd.Section("mapping.rot")
+	var s [4]uint64
+	s[0], s[1], s[2], s[3] = rd.U64(), rd.U64(), rd.U64(), rd.U64()
+	nOff := rd.U64()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	offsets := make(map[uint64]int, nOff)
+	for i := uint64(0); i < nOff; i++ {
+		k, v := rd.U64(), rd.I64()
+		offsets[k] = int(v)
+	}
+	nWr := rd.U64()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	writes := make(map[uint64]int, nWr)
+	for i := uint64(0); i < nWr; i++ {
+		k, v := rd.U64(), rd.I64()
+		writes[k] = int(v)
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	r.rng.SetState(s)
+	r.offsets = offsets
+	r.writes = writes
+	return nil
+}

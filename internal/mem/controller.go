@@ -155,9 +155,12 @@ func NewController(eng *sim.Engine, cfg *sim.Config, baseline BaselineFunc) *Con
 		writeLatHist: stats.NewHistogram(latMaxBuckets),
 	}
 	c.mapTab = mapping.NewTable(c.mapFn, cfg.CellsPerLine(), cfg.Chips)
-	if cfg.PWL {
-		c.rot = mapping.NewRotator(cfg.CellsPerLine(), cfg.PWLShiftWrites, rng.Derive(2))
-	}
+	// The rotator — and its Derive(2) stream — is created unconditionally so
+	// the controller consumes the root RNG the same way under every policy
+	// config: a warmup build (PWL pinned off) and a measurement build must
+	// leave the derivation sequence aligned for checkpoint restore. PWL
+	// gates the rotator's effect through ShiftEvery (0 disables rotation).
+	c.rot = mapping.NewRotator(cfg.CellsPerLine(), rotShiftEvery(cfg), rng.Derive(2))
 	if eng.Sharded() {
 		lanes := cfg.Lanes()
 		c.laneBuilders = make([]*pcm.Builder, lanes)

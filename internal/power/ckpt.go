@@ -1,0 +1,74 @@
+package power
+
+import (
+	"fmt"
+
+	"fpb/internal/ckpt"
+)
+
+// Quiesced reports whether every pool is fully free — the power subsystem's
+// quiesce-barrier condition.
+func (m *Manager) Quiesced() bool {
+	if m.dimm.InUse() > epsilon || m.gcp.InUse() > epsilon {
+		return false
+	}
+	for _, p := range m.chips {
+		if p.InUse() > epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// Reconfigure re-sizes every pool from the (rebound) configuration the
+// manager was built with. It is only legal at a quiesce barrier — Pool.Reset
+// panics if tokens are in use. The pools are mutated in place because the
+// hub gauges registered by NewManager hold method values bound to these
+// exact instances.
+func (m *Manager) Reconfigure() {
+	m.dimm.Reset(m.cfg.DIMMTokens)
+	for _, p := range m.chips {
+		p.Reset(m.cfg.LCPTokens())
+	}
+	gcpCap := 0.0
+	if m.cfg.UsesGCP() {
+		gcpCap = m.cfg.GCPTokens()
+	}
+	m.gcp.Reset(gcpCap)
+}
+
+// ResetTelemetry zeroes the manager's measurement telemetry (GCP extrema,
+// per-write summary, waste accumulator) at the warmup barrier. The denial
+// and grant counters live in the hub registry and are reset with the rest of
+// the registry by the barrier sequence.
+func (m *Manager) ResetTelemetry() {
+	m.gcpMaxOut = 0
+	m.gcpMaxGrant = 0
+	m.gcpMaxSegment = 0
+	m.gcpPerWrite.Reset()
+	m.gcpWasteIn = 0
+}
+
+// SaveState records the power subsystem in a checkpoint. A quiesced manager
+// holds no model state — every token is free and telemetry is measurement
+// state reset at the barrier — so the codec only asserts quiescence; the
+// restore path rebuilds pools from the measurement configuration.
+func (m *Manager) SaveState(w *ckpt.Writer) {
+	w.Section("power")
+	if !m.Quiesced() {
+		panic("power: checkpointing a manager with tokens in use")
+	}
+}
+
+// RestoreState verifies the freshly built manager is quiescent (it must be:
+// it has never issued a grant).
+func (m *Manager) RestoreState(r *ckpt.Reader) error {
+	r.Section("power")
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !m.Quiesced() {
+		return fmt.Errorf("power: restoring into a manager with tokens in use")
+	}
+	return nil
+}

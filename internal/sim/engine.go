@@ -208,6 +208,27 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.cancel = true
 }
 
+// Clock snapshots the engine's scheduling state — current cycle, next
+// sequence number, and events run — for checkpointing at a quiesce barrier.
+func (e *Engine) Clock() (now Cycle, seq, ran uint64) {
+	return e.now, e.seq, e.ran
+}
+
+// RestoreClock positions an empty engine at a checkpointed clock state.
+// Restoring seq is what keeps post-restore event ordering bit-identical to
+// the uninterrupted run: the first event scheduled after the barrier gets
+// the same (when, seq) key on both paths. It panics with pending events —
+// the checkpoint format only captures quiesced systems (see internal/ckpt).
+func (e *Engine) RestoreClock(now Cycle, seq, ran uint64) {
+	if e.Pending() != 0 {
+		panic("sim: RestoreClock on an engine with pending events")
+	}
+	e.now = now
+	e.seq = seq
+	e.ran = ran
+	e.queue.base = now
+}
+
 // SetDispatchHook installs (or, with nil, removes) a callback observing
 // every event dispatch — the tracer's tap into the event loop. The only
 // cost without a hook is one nil check per event.

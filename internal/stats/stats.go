@@ -24,6 +24,10 @@ type Summary struct {
 	last     float64
 }
 
+// Reset clears the summary to its empty state (the warmup-barrier stats
+// reset).
+func (s *Summary) Reset() { *s = Summary{} }
+
 // Add records one observation; non-finite values are dropped.
 func (s *Summary) Add(v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -128,6 +132,12 @@ func NewHistogram(max int) *Histogram {
 		max = 0
 	}
 	return &Histogram{buckets: make([]uint64, max+1)}
+}
+
+// Reset clears all buckets and totals, keeping the bucket range.
+func (h *Histogram) Reset() {
+	clear(h.buckets)
+	h.overflow, h.total, h.sum = 0, 0, 0
 }
 
 // Add records one observation.

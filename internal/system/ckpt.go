@@ -1,0 +1,191 @@
+package system
+
+import (
+	"fmt"
+
+	"fpb/internal/ckpt"
+	"fpb/internal/sim"
+	"fpb/internal/workload"
+)
+
+// This file is the system-level checkpoint codec: EncodeCheckpoint captures a
+// machine quiesced at its warmup barrier, RestoreSystem rebuilds one from an
+// image, and RunWorkloadCheckpointed is the store-coordinated entry point the
+// experiment harness and the daemon share.
+//
+// The image records only model state — PCM content and wear, cache metadata,
+// workload cursors, RNG streams, bus horizons, the engine clock. Everything
+// the barrier provably empties (queues, banks, power grants, in-flight
+// events) is absent by construction, and every measurement statistic is reset
+// at the barrier on both the cold and the restored path, which is what makes
+// the two paths byte-identical.
+
+// EncodeCheckpoint serializes the system at its warmup barrier. It must be
+// called from a barrier hook (SetBarrierHook): the component codecs verify
+// quiescence and panic otherwise. Trace-replay systems (BuildFromSources)
+// cannot be checkpointed — they have no generator state to capture.
+func (s *System) EncodeCheckpoint() []byte {
+	if len(s.gens) != len(s.Cores) || len(s.muts) != len(s.Cores) {
+		panic("system: EncodeCheckpoint on a trace-replay system")
+	}
+	w := ckpt.NewWriter()
+	w.Section("system")
+	now, seq, ran := s.Eng.Clock()
+	w.U64(uint64(now))
+	w.U64(seq)
+	w.U64(ran)
+	w.U64(s.Cfg.WarmupCycles)
+	w.String(s.wlName)
+	w.U64(uint64(len(s.Cores)))
+	for i := range s.Cores {
+		s.gens[i].SaveState(w)
+		s.muts[i].SaveState(w)
+		// Cache state ships as a sparse delta against the deterministic
+		// prefill baseline, which the restore side regenerates itself —
+		// warmup touches a tiny fraction of the prefilled arrays, so this
+		// is what keeps images small.
+		s.Cores[i].Hierarchy().SaveDelta(w, s.baseHiers[i])
+	}
+	s.MC.SaveState(w)
+	s.MC.Scheduler().Manager().SaveState(w)
+	return w.Finish()
+}
+
+// RestoreSystem rebuilds a machine sitting at its warmup barrier from a
+// checkpoint image, ready for Run to execute the measured phase under cfg.
+// cfg is the *measurement* configuration: it must agree with the image on
+// everything the checkpoint key hashes (structure, seed, warmup phase,
+// workload); the policy fields a sweep varies are free. The restored run is
+// byte-identical to a cold run of the same cfg.
+func RestoreSystem(cfg sim.Config, name string, img []byte) (*System, error) {
+	if cfg.WarmupCycles == 0 {
+		return nil, fmt.Errorf("system: restore target config declares no warmup phase (WarmupCycles is 0)")
+	}
+	r, err := ckpt.NewReader(img)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.ByName(name, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	s, err := build(cfg, wl, true)
+	if err != nil {
+		return nil, err
+	}
+	r.Section("system")
+	now := sim.Cycle(r.U64())
+	seq, ran := r.U64(), r.U64()
+	warm := r.U64()
+	imgWL := r.String()
+	nCores := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if warm != cfg.WarmupCycles {
+		return nil, fmt.Errorf("system: checkpoint has a %d-cycle warmup, config declares %d", warm, cfg.WarmupCycles)
+	}
+	if imgWL != name {
+		return nil, fmt.Errorf("system: checkpoint is for workload %q, not %q", imgWL, name)
+	}
+	if int(nCores) != len(s.Cores) {
+		return nil, fmt.Errorf("system: checkpoint has %d cores, config wants %d", nCores, len(s.Cores))
+	}
+	for i := range s.Cores {
+		if err := s.gens[i].RestoreState(r); err != nil {
+			return nil, err
+		}
+		if err := s.muts[i].RestoreState(r); err != nil {
+			return nil, err
+		}
+		if err := s.Cores[i].Hierarchy().RestoreDelta(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.MC.RestoreState(r); err != nil {
+		return nil, err
+	}
+	if err := s.MC.Scheduler().Manager().RestoreState(r); err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Restoring seq along with the clock keeps post-barrier event (when, seq)
+	// ordering — and the sim.events_run gauge, via ran — bit-identical to the
+	// cold run's.
+	s.Eng.RestoreClock(now, seq, ran)
+	s.measStart = now
+	return s, nil
+}
+
+// RunWorkloadCheckpointed runs (cfg, name) through the checkpoint store: if
+// the warmup prefix's image exists it restores and runs only the measured
+// phase; otherwise the first caller simulates the warmup once, captures the
+// image at the barrier, and stores it for every later grid point sharing the
+// prefix. Concurrent same-prefix runs in one process block on the producer
+// instead of redundantly warming up. warm reports whether this run started
+// from a restored image. With a nil store or no warmup phase it falls back to
+// RunWorkload.
+func RunWorkloadCheckpointed(cfg sim.Config, name string, store *ckpt.Store) (res Result, warm bool, err error) {
+	if store == nil || cfg.WarmupCycles == 0 {
+		res, err = RunWorkload(cfg, name)
+		return res, false, err
+	}
+	key := CheckpointKey(cfg, name)
+	img, claimed, err := store.Claim(key)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if img == nil && !claimed {
+		// Another run in this process is producing the image right now.
+		if img, _, err = store.Wait(key); err != nil {
+			return Result{}, false, err
+		}
+	}
+	if img != nil {
+		if res, rerr := runRestored(cfg, name, img); rerr == nil {
+			return res, true, nil
+		}
+		// Unreadable or mismatched image (e.g. a stale file from an older
+		// format): fall through to a full cold run.
+	}
+	produced := false
+	if claimed {
+		defer func() {
+			if !produced {
+				store.Abandon(key)
+			}
+		}()
+	}
+	wl, err := workload.ByName(name, cfg.Cores)
+	if err != nil {
+		return Result{}, false, err
+	}
+	sys, err := Build(cfg, wl)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if claimed {
+		sys.SetBarrierHook(func(s *System) {
+			if store.Put(key, s.EncodeCheckpoint()) == nil {
+				produced = true
+			}
+		})
+	}
+	res = sys.Run()
+	res.Workload = name
+	sys.Release()
+	return res, false, nil
+}
+
+func runRestored(cfg sim.Config, name string, img []byte) (Result, error) {
+	sys, err := RestoreSystem(cfg, name, img)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sys.Run()
+	res.Workload = name
+	sys.Release()
+	return res, nil
+}

@@ -46,3 +46,18 @@ func Key(cfg sim.Config, workload string) string {
 	sum := sha256.Sum256(Canonical(cfg, workload))
 	return hex.EncodeToString(sum[:])
 }
+
+// CheckpointKey returns the content address of the warmup prefix of one
+// (config, workload) run: the key under which its barrier checkpoint image
+// is stored and shared. Two grid points share a key — and therefore one
+// warmup simulation — exactly when their warmup phases are byte-identical:
+// the key hashes the *warmup* config (measurement-only policy fields pinned
+// by Config.WarmupConfig), with InstrPerCore zeroed on top, since the
+// instruction budget only governs how far the measurement phase runs past
+// the barrier. Shards is zeroed by Canonical as usual.
+func CheckpointKey(cfg sim.Config, workload string) string {
+	w := cfg.WarmupConfig()
+	w.InstrPerCore = 0
+	sum := sha256.Sum256(Canonical(w, workload))
+	return hex.EncodeToString(sum[:])
+}

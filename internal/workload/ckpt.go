@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fpb/internal/ckpt"
+)
+
+// SaveState serializes the generator's dynamic state: the RNG stream and the
+// two stream-walk cursors. The derived probabilities and region geometry are
+// pure functions of (profile, config, core) and are rebuilt by NewGenerator
+// on the restore path.
+func (g *Generator) SaveState(w *ckpt.Writer) {
+	w.Section("workload.gen")
+	s := g.rng.State()
+	w.U64(s[0])
+	w.U64(s[1])
+	w.U64(s[2])
+	w.U64(s[3])
+	w.U64(g.readPos)
+	w.U64(g.writePos)
+}
+
+// RestoreState loads dynamic state written by SaveState into a generator
+// freshly built with the same (profile, config, core) parameters.
+func (g *Generator) RestoreState(r *ckpt.Reader) error {
+	r.Section("workload.gen")
+	var s [4]uint64
+	s[0], s[1], s[2], s[3] = r.U64(), r.U64(), r.U64(), r.U64()
+	readPos, writePos := r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	g.rng.SetState(s)
+	g.readPos = readPos
+	g.writePos = writePos
+	return nil
+}
+
+// SaveState serializes the mutator's RNG stream (its only dynamic state).
+func (m *Mutator) SaveState(w *ckpt.Writer) {
+	w.Section("workload.mut")
+	s := m.rng.State()
+	w.U64(s[0])
+	w.U64(s[1])
+	w.U64(s[2])
+	w.U64(s[3])
+}
+
+// RestoreState loads the mutator's RNG stream.
+func (m *Mutator) RestoreState(r *ckpt.Reader) error {
+	r.Section("workload.mut")
+	var s [4]uint64
+	s[0], s[1], s[2], s[3] = r.U64(), r.U64(), r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.rng.SetState(s)
+	return nil
+}

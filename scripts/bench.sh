@@ -77,10 +77,16 @@ if [ "$QUICK" -eq 0 ]; then
     # GOMAXPROCS scaling of the parallel engine. Results are bit-identical
     # across cpu counts (fpbbench verifies that); only wall clock varies.
     go run ./cmd/fpbbench -cpus 1,2,4 -instr 20000 | tee -a "$RAW"
+    # Checkpointed warm-start vs cold warmup for the Fig. 18 sweep. The
+    # run itself asserts the warm-started results are byte-identical to
+    # the cold ones; the snapshot records the speedup.
+    go run ./cmd/fpbbench -warm 4000000 -instr 5000 | tee -a "$RAW"
 else
     # Quick scaling smoke for CI: two workloads, two cpu counts.
     go run ./cmd/fpbbench -cpus 1,2 -instr 8000 -workloads mcf_m,mix_1 |
         tee -a "$RAW"
+    # Warm-start smoke: shorter warmup, same byte-identity assertion.
+    go run ./cmd/fpbbench -warm 1000000 -instr 3000 | tee -a "$RAW"
 fi
 
 go run ./cmd/fpbbench -out "$OUT" <"$RAW"
