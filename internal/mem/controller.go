@@ -48,6 +48,14 @@ type bankState struct {
 	busy     bool     // array occupied (read, or write programming)
 	wr       *writeOp // non-nil while a write owns the bank
 	readBusy bool     // a read is using the array during a write pause
+	// busyUntil is the latest cycle the bank is known to stay occupied —
+	// array reads book their full latency, writes book each power phase as
+	// it is scheduled. It only feeds the parallel engine's adaptive
+	// speculation horizon (a write queued behind this bank cannot issue
+	// before busyUntil, so its profile build can be batched that far out);
+	// an underestimate is harmless — the profile is simply ready early and
+	// stays cached — so the write path never has to keep it exact.
+	busyUntil sim.Cycle
 }
 
 // writeOp is an in-flight line write at the bridge.
@@ -544,6 +552,7 @@ func (c *Controller) startRead(bank int, req *ReadRequest, duringPause bool) {
 		c.fillsIssued.Inc()
 	}
 	arrayDone := c.cfg.MCToBank + c.cfg.ReadCycles()
+	c.holdBank(bank, c.eng.Now()+arrayDone)
 	c.eng.After(arrayDone, func() {
 		if duringPause {
 			b.readBusy = false
@@ -607,7 +616,7 @@ func (c *Controller) scheduleSpec(req *WriteRequest) {
 	var prof *pcm.WriteProfile
 	var ver uint64
 	var rot int
-	c.eng.Speculate(lane, func() {
+	req.specEv = c.eng.SpeculateAfter(lane, c.specDelay(bank), func() {
 		// Prepare: reads shared state the sweep barrier froze (store
 		// pages, lineWrites, rotation offsets), writes only lane scratch.
 		ver = c.lineWrites[req.Addr]
@@ -621,7 +630,10 @@ func (c *Controller) scheduleSpec(req *WriteRequest) {
 		prof = b.Build(req.Addr, old, req.Data, mapF, c.cfg.WriteTruncation)
 	}, func() {
 		// Commit (serial): publish unless the write already issued —
-		// the in-flight op owns its profile and must not lose it.
+		// the in-flight op owns its profile and must not lose it. The
+		// handle is cleared first: after this commit the event is
+		// recycled, and a stale handle could cancel an innocent event.
+		req.specEv = nil
 		if prof == nil {
 			return
 		}
@@ -635,6 +647,62 @@ func (c *Controller) scheduleSpec(req *WriteRequest) {
 		req.profSpec = true
 		c.specPublished.Inc()
 	})
+}
+
+// specTightUtil is the power-utilization threshold past which speculation
+// horizons stretch further: when admission is the bottleneck, queued writes
+// wait well beyond their bank's busy time, so their profile builds can be
+// batched deeper without risking a build-after-need miss.
+const specTightUtil = 0.85
+
+// holdBank records that a bank stays occupied at least until the given
+// cycle (monotone max; see bankState.busyUntil).
+func (c *Controller) holdBank(bank int, until sim.Cycle) {
+	if b := &c.banks[bank]; until > b.busyUntil {
+		b.busyUntil = until
+	}
+}
+
+// specDelay derives the speculation distance for a write entering bank's
+// queue: how far ahead of now its profile-build lane event is scheduled.
+// The floor is ShardHorizon lookaheads — the batching horizon one prepare
+// sweep amortizes over. Unless ShardStaticLookahead pins it there, the
+// distance adapts to when the write could actually issue: at least the
+// bank's known busy time, plus — when power admission is tight — a pulse
+// width per write already queued for the same bank. Any distance is
+// result-safe (profiles are tag-validated and rebuilt serially when stale,
+// and startWrite cancels the event if the write issues first), so an
+// overestimate only wastes one speculative build; the cap just bounds how
+// far lane heaps can grow.
+func (c *Controller) specDelay(bank int) sim.Cycle {
+	la := c.cfg.LookaheadCycles()
+	h := sim.Cycle(c.cfg.ShardHorizon)
+	if h == 0 {
+		h = sim.DefaultShardHorizon
+	}
+	d := la * h
+	if c.cfg.ShardStaticLookahead {
+		return d
+	}
+	now := c.eng.Now()
+	if bu := c.banks[bank].busyUntil; bu > now && bu-now > d {
+		d = bu - now
+	}
+	if c.sched.Manager().Utilization() > specTightUtil {
+		pulse := c.cfg.ResetCycles
+		if c.cfg.SetCycles < pulse {
+			pulse = c.cfg.SetCycles
+		}
+		for _, w := range c.wrq {
+			if c.amap.Bank(w.Addr) == bank {
+				d += pulse
+			}
+		}
+	}
+	if max := 16 * la * h; d > max {
+		d = max
+	}
+	return d
 }
 
 // profileFor returns the write's physical profile — the bridge's
@@ -683,6 +751,14 @@ func (c *Controller) startWrite(bank int, req *WriteRequest, prof *pcm.WriteProf
 	b := &c.banks[bank]
 	b.busy = true
 	req.inflight = true
+	if req.specEv != nil {
+		// The write beat its speculative build to the bank: the commit
+		// would only be dropped, so cancel the event and skip the prepare
+		// work too.
+		c.eng.Cancel(req.specEv)
+		req.specEv = nil
+		c.specDropped.Inc()
+	}
 	op := &writeOp{req: req, prof: prof, ticket: ticket, bank: bank, started: c.eng.Now()}
 	b.wr = op
 	if c.hub.Tracing() {
@@ -709,6 +785,7 @@ func (c *Controller) startWrite(bank int, req *WriteRequest, prof *pcm.WriteProf
 			begin = rbw
 		}
 	}
+	c.holdBank(bank, c.eng.Now()+begin)
 	// Tracked via phaseEv so a cancellation arriving during the
 	// pre-programming window (data transfer / read-before-write) kills
 	// the write before its first pulse.
@@ -720,6 +797,7 @@ func (c *Controller) startWrite(bank int, req *WriteRequest, prof *pcm.WriteProf
 
 // schedulePhaseEnd books the end-of-phase event for the op's current phase.
 func (c *Controller) schedulePhaseEnd(op *writeOp) {
+	c.holdBank(op.bank, c.eng.Now()+op.ticket.PhaseDuration())
 	op.phaseEv = c.eng.After(op.ticket.PhaseDuration(), func() { c.phaseEnd(op) })
 }
 
@@ -813,6 +891,7 @@ func (c *Controller) cancelWrite(op *writeOp) {
 	b := &c.banks[op.bank]
 	b.busy = false
 	b.wr = nil
+	b.busyUntil = c.eng.Now()
 	op.req.cancelled++
 	c.wcCancels.Inc()
 	if c.hub.Tracing() {

@@ -42,4 +42,10 @@ type WriteRequest struct {
 	// profile arriving now would be useless (the op owns its profile) and
 	// is dropped instead of published.
 	inflight bool
+	// specEv is the pending speculative-build lane event, if any. The
+	// handle is valid only while the event is pending: the commit clears
+	// it before doing anything else, and startWrite cancels it (a profile
+	// landing after issue would be dropped anyway, so the prepare work is
+	// saved too).
+	specEv *sim.Event
 }

@@ -252,7 +252,27 @@ type Config struct {
 	// for every value — Shards is a wall-clock knob, not a model parameter —
 	// so it is excluded from the simulation's content-address (system.Key).
 	Shards int
+	// ShardHorizon is the parallel engine's batching horizon, in lookahead
+	// multiples: speculative write profiles are scheduled
+	// ShardHorizon×LookaheadCycles ahead instead of one lookahead, so one
+	// prepare sweep amortizes over that many windows of simulated time.
+	// 0 (default) means DefaultShardHorizon. Like Shards it is a wall-clock
+	// knob — results are bit-identical for every value — and is excluded
+	// from system.Key.
+	ShardHorizon int
+	// ShardStaticLookahead pins the speculation distance to exactly
+	// ShardHorizon×LookaheadCycles, disabling the adaptive extension that
+	// stretches it over a bank's known busy time and queue backlog. Kept
+	// for A/B measurement and determinism cross-checks; also excluded from
+	// system.Key.
+	ShardStaticLookahead bool
 }
+
+// DefaultShardHorizon is the batching horizon used when Config.ShardHorizon
+// is 0: wide enough that sweeps are rare (one barrier per ~8 windows of
+// progress), small enough that speculative profiles rarely outlive their
+// request's first issue attempt.
+const DefaultShardHorizon = 8
 
 // DefaultConfig returns the paper's Table 1 baseline configuration.
 func DefaultConfig() Config {
@@ -371,6 +391,8 @@ func (c *Config) Validate() error {
 	switch {
 	case c.Shards < 0:
 		return fmt.Errorf("config: Shards must be non-negative, got %d", c.Shards)
+	case c.ShardHorizon < 0:
+		return fmt.Errorf("config: ShardHorizon must be non-negative, got %d", c.ShardHorizon)
 	case c.Cores <= 0:
 		return fmt.Errorf("config: Cores must be positive, got %d", c.Cores)
 	case c.Chips <= 0 || c.Banks <= 0:

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,62 +12,122 @@ import (
 
 // This file implements the opt-in parallel engine: the event population is
 // sharded into per-bank lanes plus the ordinary global queue, and execution
-// proceeds in conservative time windows whose width is a static lookahead.
+// batches lane-event prepares into sweeps whose horizon adapts to the actual
+// event timestamps instead of a fixed lookahead-wide window.
 //
-// A lane event is scheduled with Speculate and carries two callbacks:
+// A lane event is scheduled with Speculate/SpeculateAfter and carries two
+// callbacks:
 //
-//   - prepare runs on a worker goroutine during a window's parallel phase.
-//     It must only read shared simulation state and write state local to its
-//     lane (or captured by the event's own closures); it must not touch the
-//     engine. Prepares across lanes run concurrently.
-//   - commit runs on the engine goroutine at the window barrier, merged with
-//     global-queue events in deterministic (time, seq) order. All shared
-//     mutation happens here.
+//   - prepare runs during a sweep's parallel phase. It must only read shared
+//     simulation state and write state local to its lane (or captured by the
+//     event's own closures); it must not touch the engine. Prepares across
+//     lanes run concurrently.
+//   - commit runs on the engine goroutine after the sweep barrier, merged
+//     with global-queue events in deterministic (time, seq) order. All
+//     shared mutation happens here.
+//
+// Scheduling model: the engine tracks the earliest not-yet-prepared lane
+// event (heapMin). Execution proceeds exactly like the sequential engine —
+// dispatching the earliest of {prepared lane events, global queue head} by
+// (when, seq) — until the frontier would cross heapMin; at that point one
+// sweep prepares *every* pending lane event (in this horizon and beyond)
+// and execution resumes. Sweep points are therefore a pure function of
+// event timestamps: independent of the shard count, of GOMAXPROCS, and of
+// how the OS schedules workers, which is what keeps execution deterministic.
 //
 // Determinism argument: every prepare is phase-separated from every commit
-// and from all other shards' prepares by the sweep barrier (a WaitGroup,
-// which establishes happens-before in both directions), so there are no data
-// races; and because lane events are scheduled exactly `lookahead` cycles
-// ahead, every lane event committing inside a window [T, T+W) was scheduled
-// before T and therefore prepared at the window's opening sweep — the
-// conservative invariant. Since commits apply in global (time, seq) order on
-// one goroutine, the observable event order is identical to the sequential
-// engine's; prepares only precompute values that are pure functions of the
-// state their validity is later checked against, so results are bit-identical
-// for any shard count and any GOMAXPROCS.
+// and from all other shards' prepares by the sweep barrier (whose atomics
+// establish happens-before in both directions), so there are no data races.
+// Commits apply in global (time, seq) order on one goroutine, so the
+// observable event order is identical to the sequential engine's; and
+// prepares only precompute values that are pure functions of the state
+// their validity is later checked against (see mem.Controller's version/
+// rotation tags), so the *content* of every commit is independent of when
+// its sweep happened to run. Together: results are bit-identical for any
+// shard count, any GOMAXPROCS and any speculation distance.
 const (
 	// idxReady marks a lane event that has been prepared and is waiting in
-	// its lane's ready queue for the commit barrier. Distinct from idxIdle so
+	// the merged ready queue for commit. Distinct from idxIdle so
 	// Scheduled/Cancel keep working on in-flight lane events.
 	idxReady = -3
+
+	// barrierBusySpins / barrierYieldSpins bound the two spin phases of the
+	// sweep barrier before a participant parks: a short hot spin (parallel
+	// hardware, worker about to finish), then cooperative yields (fewer
+	// hardware threads than workers), then a channel park. Parks and wakes
+	// are counted in ShardStats so barrier behavior is diagnosable.
+	barrierBusySpins  = 64
+	barrierYieldSpins = 256
 )
 
-// laneQueue holds one lane's pending and prepared events.
+// laneQueue holds one lane's pending events.
 type laneQueue struct {
-	heap      eventHeap // scheduled, not yet prepared
-	ready     []*Event  // prepared, ascending (when, seq), awaiting commit
-	next      int       // first unconsumed entry of ready
-	committed uint64    // lane events committed over the run (telemetry)
+	heap eventHeap // scheduled, not yet prepared
+	// newReady receives the lane's events as a sweep prepares them, in
+	// ascending (when, seq) order; the engine drains it into the merged
+	// ready queue at the barrier. Only the worker owning the lane's shard
+	// touches it during a sweep.
+	newReady     []*Event
+	pendingReady int    // entries currently in the merged ready queue
+	committed    uint64 // lane events committed over the run (telemetry)
 }
 
 // ShardStats is an execution-side telemetry snapshot of the parallel
-// engine: it describes how a run executed (window count, barrier stall
+// engine: it describes how a run executed (sweep counts, barrier stall
 // time), never what it computed, so it is exported through exec-scope obs
-// series and excluded from Result.Metrics.
+// series and excluded from Result.Metrics. Counters cover the current
+// RunSharded invocation — they reset when a run starts, so telemetry from a
+// warmup phase never bleeds into the measured phase of a reused engine.
 type ShardStats struct {
-	// Windows is the number of conservative windows opened.
-	Windows uint64
-	// Sweeps is the number of parallel prepare sweeps dispatched (a
-	// window whose events were all prepared earlier needs no new sweep).
+	// Sweeps is the number of parallel prepare sweeps that crossed the
+	// worker barrier.
 	Sweeps uint64
+	// InlineSweeps is the number of sweeps executed entirely on the engine
+	// goroutine — single worker, or only one shard had pending work — so
+	// no barrier was paid.
+	InlineSweeps uint64
 	// Prepared is the total number of lane events run through prepare
-	// callbacks on worker goroutines.
+	// callbacks.
 	Prepared uint64
-	// LaneCommits is the number of lane events committed at barriers.
+	// LaneCommits is the number of lane events committed (cancelled lane
+	// events are collected without counting).
 	LaneCommits uint64
 	// BarrierWaitNs is cumulative wall-clock time the engine goroutine
-	// spent blocked on sweep barriers (nondeterministic by nature).
+	// spent waiting on sweep barriers after finishing its own share of the
+	// prepare work (nondeterministic by nature).
 	BarrierWaitNs uint64
+	// HorizonCycles is the cumulative simulated time between consecutive
+	// sweeps: HorizonCycles / Sweeps is the mean horizon one barrier
+	// amortizes over (the old fixed-window engine paid one sweep per
+	// lookahead of progress).
+	HorizonCycles uint64
+	// Parks counts barrier participants (engine or worker) that exhausted
+	// their spin budget and blocked on a channel; Wakes counts the wake
+	// tokens the engine sent to parked workers.
+	Parks uint64
+	Wakes uint64
+}
+
+// shardWorker is one persistent prepare worker's barrier cell. The engine
+// releases a worker by bumping gen; the worker signals completion through
+// the group's shared countdown.
+type shardWorker struct {
+	gen    atomic.Uint64 // target generation; engine bumps to release
+	parked atomic.Bool   // worker is blocked (or blocking) on wake
+	wake   chan struct{} // buffered(1): at most one stale token, re-checked
+}
+
+// workerGroup is one generation of persistent workers. It is replaced
+// wholesale when workers restart (e.g. GOMAXPROCS changed between runs), so
+// goroutines from a torn-down group can never consume a new group's signals.
+type workerGroup struct {
+	width     int // total barrier participants, engine included
+	workers   []*shardWorker
+	done      atomic.Int64  // workers still preparing this sweep
+	engParked atomic.Bool   // engine is blocked (or blocking) on engWake
+	engWake   chan struct{} // buffered(1), same stale-token discipline
+	stopping  atomic.Bool
+	parks     atomic.Uint64 // worker-side parks (engine parks are counted serially)
 }
 
 // sharding is the parallel-engine state hung off an Engine by EnableSharding.
@@ -74,26 +135,81 @@ type sharding struct {
 	shards    int
 	lookahead Cycle
 	lanes     []laneQueue
-	pending   int   // lane events not yet committed (heap + ready)
-	minWhen   Cycle // earliest pending lane event; MaxCycle when none
 
-	preparing atomic.Bool // a sweep's parallel phase is running
+	// ready is the merged commit queue: every prepared lane event, sorted
+	// by (when, seq); next is its first unconsumed entry. A single sorted
+	// queue makes the commit merge O(1) per event where the windowed
+	// engine scanned every lane.
+	ready []*Event
+	next  int
 
-	// Telemetry. All fields are written on the engine goroutine except
-	// preparedBy, whose per-shard slots are written by the (single) worker
-	// draining that shard and ordered against reads by the sweep barrier.
-	windows       uint64
+	pending    int   // lane events not yet committed (heaps + ready)
+	unprepared int   // lane events still in lane heaps
+	heapMin    Cycle // earliest unprepared lane event; MaxCycle when none
+
+	// shardPending/busyShards track which shards have unprepared work, so a
+	// sweep can run inline when only one shard (or one worker) is busy and
+	// release only the workers that own busy shards otherwise.
+	shardPending []int32
+	busyShards   int
+
+	preparing atomic.Bool // a sweep's prepare phase is running
+
+	group *workerGroup // non-nil while persistent workers are up
+
+	// Telemetry for the current RunSharded invocation. All fields are
+	// written on the engine goroutine except preparedBy, whose per-shard
+	// slots are written by the single participant draining that shard and
+	// ordered against reads by the sweep barrier.
 	sweeps        uint64
+	inlineSweeps  uint64
 	laneCommits   uint64
 	barrierWaitNs uint64
+	horizonCycles uint64
+	parks         uint64
+	wakes         uint64
+	lastSweepNow  Cycle
+	sweepSeen     bool
 	preparedBy    []uint64
-
-	work    chan int // shard indices for the current sweep
-	started bool
-	wg      sync.WaitGroup
 
 	panicMu  sync.Mutex
 	panicked any
+}
+
+// globalShard accumulates ShardStats across every RunSharded invocation in
+// the process (atomically — experiment runners execute systems
+// concurrently). It feeds fpbbench's scaling diagnostics; per-run telemetry
+// stays on the engine.
+var globalShard struct {
+	sweeps, inlineSweeps, prepared, laneCommits atomic.Uint64
+	barrierWaitNs, horizonCycles, parks, wakes  atomic.Uint64
+}
+
+// GlobalShardStats returns the process-wide ShardStats accumulated by every
+// finished RunSharded invocation since the last ResetGlobalShardStats.
+func GlobalShardStats() ShardStats {
+	return ShardStats{
+		Sweeps:        globalShard.sweeps.Load(),
+		InlineSweeps:  globalShard.inlineSweeps.Load(),
+		Prepared:      globalShard.prepared.Load(),
+		LaneCommits:   globalShard.laneCommits.Load(),
+		BarrierWaitNs: globalShard.barrierWaitNs.Load(),
+		HorizonCycles: globalShard.horizonCycles.Load(),
+		Parks:         globalShard.parks.Load(),
+		Wakes:         globalShard.wakes.Load(),
+	}
+}
+
+// ResetGlobalShardStats zeroes the process-wide accumulator.
+func ResetGlobalShardStats() {
+	globalShard.sweeps.Store(0)
+	globalShard.inlineSweeps.Store(0)
+	globalShard.prepared.Store(0)
+	globalShard.laneCommits.Store(0)
+	globalShard.barrierWaitNs.Store(0)
+	globalShard.horizonCycles.Store(0)
+	globalShard.parks.Store(0)
+	globalShard.wakes.Store(0)
 }
 
 // EnableSharding turns on the parallel engine: lanes event lanes executed by
@@ -115,11 +231,12 @@ func (e *Engine) EnableSharding(lanes, shards int, lookahead Cycle) {
 		shards = lanes
 	}
 	e.sh = &sharding{
-		shards:     shards,
-		lookahead:  lookahead,
-		lanes:      make([]laneQueue, lanes),
-		minWhen:    MaxCycle,
-		preparedBy: make([]uint64, shards),
+		shards:       shards,
+		lookahead:    lookahead,
+		lanes:        make([]laneQueue, lanes),
+		heapMin:      MaxCycle,
+		shardPending: make([]int32, shards),
+		preparedBy:   make([]uint64, shards),
 	}
 }
 
@@ -134,7 +251,7 @@ func (e *Engine) Lanes() int {
 	return len(e.sh.lanes)
 }
 
-// Lookahead reports the conservative window width (0 when not sharded).
+// Lookahead reports the default speculation distance (0 when not sharded).
 func (e *Engine) Lookahead() Cycle {
 	if e.sh == nil {
 		return 0
@@ -142,41 +259,62 @@ func (e *Engine) Lookahead() Cycle {
 	return e.sh.lookahead
 }
 
-// Speculate schedules a lane event exactly one lookahead ahead of now:
-// prepare runs speculatively on a worker during a window's parallel phase,
-// commit publishes its result at the barrier in global (time, seq) order.
-// Scheduling exactly lookahead ahead is what makes the windows conservative —
-// an event committing inside [T, T+W) was necessarily scheduled before T and
-// is therefore prepared by the sweep that opens the window.
+// Speculate schedules a lane event one lookahead ahead of now; see
+// SpeculateAfter for the scheduling contract.
 func (e *Engine) Speculate(lane int, prepare, commit func()) *Event {
-	sh := e.sh
-	if sh == nil {
+	if e.sh == nil {
 		panic("sim: Speculate on an engine without sharding enabled")
 	}
+	return e.SpeculateAfter(lane, e.sh.lookahead, prepare, commit)
+}
+
+// SpeculateAfter schedules a lane event delay cycles ahead of now: prepare
+// runs speculatively during a sweep's parallel phase, commit publishes its
+// result on the engine goroutine in global (time, seq) order. The distance
+// is purely a batching knob — a longer delay lets more lane events
+// accumulate per sweep (the engine sweeps only when the frontier reaches the
+// earliest unprepared lane event) — and never a correctness one: prepares
+// must compute validated speculation (pure functions of the state their
+// validity is re-checked against at use), so any delay yields bit-identical
+// results.
+func (e *Engine) SpeculateAfter(lane int, delay Cycle, prepare, commit func()) *Event {
+	sh := e.sh
+	if sh == nil {
+		panic("sim: SpeculateAfter on an engine without sharding enabled")
+	}
 	if sh.preparing.Load() {
-		panic("sim: Speculate called from a prepare callback")
+		panic("sim: SpeculateAfter called from a prepare callback")
 	}
 	if lane < 0 || lane >= len(sh.lanes) {
-		panic(fmt.Sprintf("sim: Speculate on lane %d of %d", lane, len(sh.lanes)))
+		panic(fmt.Sprintf("sim: SpeculateAfter on lane %d of %d", lane, len(sh.lanes)))
 	}
 	ev := e.alloc()
-	ev.when, ev.seq = e.now+sh.lookahead, e.seq
+	ev.when, ev.seq = e.now+delay, e.seq
 	ev.fn, ev.prepare = commit, prepare
 	ev.lane = int32(lane)
 	e.seq++
 	heap.Push(&sh.lanes[lane].heap, ev)
 	sh.pending++
-	if ev.when < sh.minWhen {
-		sh.minWhen = ev.when
+	sh.unprepared++
+	s := lane % sh.shards
+	if sh.shardPending[s] == 0 {
+		sh.busyShards++
+	}
+	sh.shardPending[s]++
+	if ev.when < sh.heapMin {
+		sh.heapMin = ev.when
 	}
 	return ev
 }
 
-// RunSharded executes events until stop() reports true, interleaving plain
-// sequential steps with conservative windows around pending lane events. It
-// reports false when the queue drains with stop still unsatisfied (the
-// deadlock case). stop is checked between consecutive events, exactly like a
-// sequential Step loop. The prepare worker pool is torn down on return.
+// RunSharded executes events until stop() reports true, merging prepared
+// lane events with the global queue in (time, seq) order and sweeping the
+// lane heaps whenever the frontier reaches the earliest unprepared lane
+// event. It reports false when both queues drain with stop still
+// unsatisfied (the deadlock case). stop is checked between consecutive
+// events, exactly like a sequential Step loop. Shard telemetry resets at
+// entry and folds into the process-wide aggregate (GlobalShardStats) on
+// return; the persistent worker pool is torn down on return.
 func (e *Engine) RunSharded(stop func() bool) bool {
 	sh := e.sh
 	if sh == nil {
@@ -187,162 +325,228 @@ func (e *Engine) RunSharded(stop func() bool) bool {
 		}
 		return true
 	}
+	sh.resetRunStats()
+	defer sh.flushGlobalStats()
 	defer sh.stopWorkers()
 	for {
 		if stop() {
 			return true
 		}
-		if sh.pending == 0 {
-			// Serial fast path: no lane events anywhere, behave exactly
-			// like the sequential engine.
-			if !e.Step() {
-				return false
-			}
-			continue
+		var lv *Event
+		if sh.next < len(sh.ready) {
+			lv = sh.ready[sh.next]
 		}
 		g := e.queue.peek(e.now, e.recycle)
-		if g != nil && g.when < sh.minWhen {
-			e.Step()
-			continue
-		}
-		// The frontier reached the earliest lane event: open a window.
-		if !e.runWindow(stop) {
-			return stop()
-		}
-	}
-}
-
-// runWindow opens a conservative window at the earliest pending lane event,
-// runs the parallel prepare sweep, then commits lane and global events inside
-// [T, T+lookahead) in (time, seq) order. It reports false when both queues
-// drained inside the window.
-func (e *Engine) runWindow(stop func() bool) bool {
-	sh := e.sh
-	start := sh.minWhen
-	end := start + sh.lookahead
-	if end < start { // overflow: unbounded window
-		end = MaxCycle
-	}
-	sh.windows++
-	e.sweep()
-	for {
-		if stop() {
-			break
-		}
-		// Earliest prepared lane event.
-		var lev *Event
-		var lq *laneQueue
-		for l := range sh.lanes {
-			q := &sh.lanes[l]
-			if q.next >= len(q.ready) {
+		if sh.unprepared > 0 {
+			next := MaxCycle
+			if lv != nil {
+				next = lv.when
+			}
+			if g != nil && g.when < next {
+				next = g.when
+			}
+			if next >= sh.heapMin {
+				// The frontier reached the earliest unprepared lane event:
+				// prepare everything pending before committing past it.
+				e.sweep()
 				continue
 			}
-			ev := q.ready[q.next]
-			if lev == nil || ev.when < lev.when || (ev.when == lev.when && ev.seq < lev.seq) {
-				lev, lq = ev, q
-			}
 		}
-		g := e.queue.peek(e.now, e.recycle)
-		useLane := lev != nil && (g == nil || lev.when < g.when ||
-			(lev.when == g.when && lev.seq < g.seq))
-		if useLane {
-			if lev.when >= end && end != MaxCycle {
-				break // beyond the window; stays prepared for a later one
-			}
-			lq.next++
+		switch {
+		case lv != nil && (g == nil || lv.when < g.when || (lv.when == g.when && lv.seq < g.seq)):
+			sh.ready[sh.next] = nil
+			sh.next++
 			sh.pending--
+			lq := &sh.lanes[lv.lane]
+			lq.pendingReady--
+			fn, cancelled, when := lv.fn, lv.cancel, lv.when
+			e.recycle(lv)
+			if cancelled {
+				// Collected without advancing the clock, exactly like the
+				// sequential queue collects cancelled events.
+				continue
+			}
 			sh.laneCommits++
 			lq.committed++
-			e.now = lev.when
-			fn := lev.fn
-			cancelled := lev.cancel
-			e.recycle(lev)
-			if !cancelled {
-				// Lane commits do not count toward EventsRun and do not
-				// fire the dispatch hook: metrics and traces stay
-				// identical to the sequential engine, which never sees
-				// these events.
-				fn()
+			e.now = when
+			// Lane commits do not count toward EventsRun and do not fire
+			// the dispatch hook: metrics and traces stay identical to the
+			// sequential engine, which never sees these events.
+			fn()
+		case g != nil:
+			// Dispatch the already-peeked head directly: popping it by
+			// position skips re-scanning the calendar inside Step.
+			e.queue.popHead(g)
+			e.now = g.when
+			e.ran++
+			fn := g.fn
+			e.recycle(g)
+			if e.hook != nil {
+				e.hook(e.now, e.ran)
 			}
-			continue
+			fn()
+		default:
+			// Both queues empty and nothing unprepared (a sweep would have
+			// run above): the engine drained with stop unsatisfied.
+			return false
 		}
-		if g == nil || (g.when >= end && end != MaxCycle) {
-			if lev == nil && g == nil {
-				// Ready queues and the global queue are empty; commits may
-				// have speculated new lane events beyond this window, in
-				// which case the outer loop opens the next one.
-				sh.compact()
-				return sh.pending > 0
-			}
-			break
-		}
-		e.Step()
 	}
-	sh.compact()
-	return true
 }
 
-// sweep runs the parallel prepare phase: every pending lane event — in this
-// window and beyond it — is popped from its lane heap in (when, seq) order
-// and its prepare callback runs on a worker, one shard (lane % shards) per
-// work item. The WaitGroup barrier orders all prepares before the commits
-// that follow and after the serial execution that preceded, so prepares may
-// freely read shared state.
+// sweep prepares every pending lane event — due now and beyond — and merges
+// the results into the ready queue. With one barrier participant, or with
+// all pending work in a single shard, the prepares run inline on the engine
+// goroutine; otherwise the persistent workers owning busy shards are
+// released and the engine prepares its own share before waiting on the
+// barrier.
 func (e *Engine) sweep() {
 	sh := e.sh
-	n := 0
-	for s := 0; s < sh.shards; s++ {
-		if sh.shardHasWork(s) {
-			n++
-		}
+	if sh.sweepSeen {
+		sh.horizonCycles += uint64(e.now - sh.lastSweepNow)
 	}
-	if n == 0 {
-		return
+	sh.sweepSeen = true
+	sh.lastSweepNow = e.now
+	if w := sh.width(); w <= 1 || sh.busyShards <= 1 {
+		sh.inlineSweeps++
+		sh.preparing.Store(true)
+		func() {
+			defer sh.preparing.Store(false)
+			for s := 0; s < sh.shards; s++ {
+				if sh.shardPending[s] > 0 {
+					sh.prepareShard(s)
+				}
+			}
+		}()
+	} else {
+		sh.sweeps++
+		sh.startWorkers()
+		sh.parallelSweep()
 	}
-	sh.startWorkers()
-	sh.sweeps++
-	sh.preparing.Store(true)
-	sh.wg.Add(n)
-	for s := 0; s < sh.shards; s++ {
-		if sh.shardHasWork(s) {
-			sh.work <- s
-		}
-	}
-	// Barrier-wait time is wall clock and thus nondeterministic — which is
-	// fine, because it only feeds exec-scope telemetry, never results.
-	waitStart := time.Now()
-	sh.wg.Wait()
-	sh.barrierWaitNs += uint64(time.Since(waitStart).Nanoseconds())
-	sh.preparing.Store(false)
 	if p := sh.takePanic(); p != nil {
 		panic(p)
 	}
-	sh.recomputeMin()
+	for s := range sh.shardPending {
+		sh.shardPending[s] = 0
+	}
+	sh.busyShards = 0
+	sh.unprepared = 0
+	sh.heapMin = MaxCycle
+	sh.mergeReady()
 }
 
-func (sh *sharding) shardHasWork(s int) bool {
-	for l := s; l < len(sh.lanes); l += sh.shards {
-		if len(sh.lanes[l].heap) > 0 {
+// parallelSweep runs one barriered sweep: release the workers whose
+// partitions have busy shards (idle workers stay parked), prepare the
+// engine's own partition, then spin-then-park until the countdown drains.
+func (sh *sharding) parallelSweep() {
+	g := sh.group
+	w := g.width
+	dispatched := 0
+	for id := 1; id < w; id++ {
+		if sh.workerHasWork(id, w) {
+			dispatched++
+		}
+	}
+	// The countdown must be armed before any release: a released worker
+	// may finish and decrement before the next release happens.
+	g.done.Store(int64(dispatched))
+	sh.preparing.Store(true)
+	for id := 1; id < w; id++ {
+		if !sh.workerHasWork(id, w) {
+			continue
+		}
+		wk := g.workers[id-1]
+		wk.gen.Add(1)
+		if wk.parked.Load() {
+			sh.wakes++
+			select {
+			case wk.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	// The engine is barrier participant 0: it prepares its own partition
+	// while the workers run theirs, so W-way parallelism needs only W-1
+	// goroutines and the engine never blocks while it still has work.
+	var engPanic any
+	func() {
+		defer func() { engPanic = recover() }()
+		for s := 0; s < sh.shards; s += w {
+			if sh.shardPending[s] > 0 {
+				sh.prepareShard(s)
+			}
+		}
+	}()
+	if dispatched > 0 {
+		// Barrier-wait time is wall clock and thus nondeterministic — fine,
+		// it only feeds exec-scope telemetry, never results.
+		waitStart := time.Now()
+		spins := 0
+		for g.done.Load() != 0 {
+			switch {
+			case spins < barrierBusySpins:
+			case spins < barrierYieldSpins:
+				runtime.Gosched()
+			default:
+				g.engParked.Store(true)
+				// Store-then-load pairs with the last worker's
+				// decrement-then-load: one side always sees the other.
+				if g.done.Load() != 0 {
+					sh.parks++
+					<-g.engWake
+				}
+				g.engParked.Store(false)
+				spins = 0
+				continue
+			}
+			spins++
+		}
+		sh.barrierWaitNs += uint64(time.Since(waitStart).Nanoseconds())
+	}
+	sh.preparing.Store(false)
+	if engPanic != nil {
+		sh.setPanic(engPanic)
+	}
+}
+
+// workerHasWork reports whether any busy shard belongs to barrier
+// participant id under width-way striping (shard % width == id).
+func (sh *sharding) workerHasWork(id, width int) bool {
+	for s := id; s < sh.shards; s += width {
+		if sh.shardPending[s] > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// prepareShard drains every lane of one shard on a worker goroutine. Lanes
-// of different shards are disjoint, so workers never share mutable state.
+// numCPU is runtime.NumCPU, swappable so tests can exercise the parallel
+// barrier on hosts with fewer hardware threads than the scenario simulates.
+var numCPU = runtime.NumCPU
+
+// width reports the barrier width: the running group's, or what a new group
+// would use — min(shards, GOMAXPROCS, NumCPU). Capping at the physical CPU
+// count matters on overcommitted hosts: prepares are pure CPU work, so
+// participants beyond the hardware threads add barrier latency (the engine
+// waits while the OS time-slices them) without adding throughput.
+func (sh *sharding) width() int {
+	if sh.group != nil {
+		return sh.group.width
+	}
+	w := runtime.GOMAXPROCS(0)
+	if n := numCPU(); w > n {
+		w = n
+	}
+	if w > sh.shards {
+		w = sh.shards
+	}
+	return w
+}
+
+// prepareShard drains every lane of one shard on its owning barrier
+// participant. Lanes of different shards are disjoint, so participants
+// never share mutable state.
 func (sh *sharding) prepareShard(s int) {
-	defer sh.wg.Done()
-	defer func() {
-		if r := recover(); r != nil {
-			sh.panicMu.Lock()
-			if sh.panicked == nil {
-				sh.panicked = r
-			}
-			sh.panicMu.Unlock()
-		}
-	}()
-	prepared := uint64(0)
+	n := uint64(0)
 	for l := s; l < len(sh.lanes); l += sh.shards {
 		lq := &sh.lanes[l]
 		for len(lq.heap) > 0 {
@@ -350,14 +554,76 @@ func (sh *sharding) prepareShard(s int) {
 			ev.index = idxReady
 			if !ev.cancel && ev.prepare != nil {
 				ev.prepare()
-				prepared++
+				n++
 			}
-			lq.ready = append(lq.ready, ev)
+			lq.newReady = append(lq.newReady, ev)
 		}
 	}
 	// Disjoint slot per shard; the sweep barrier orders this write before
 	// any ShardStats read on the engine goroutine.
-	sh.preparedBy[s] += prepared
+	sh.preparedBy[s] += n
+}
+
+// workerLoop is one persistent worker: wait (spin, yield, park) for a
+// generation bump, prepare the busy shards of this worker's partition,
+// decrement the countdown, repeat until the group stops.
+func (sh *sharding) workerLoop(g *workerGroup, w *shardWorker, id int) {
+	var seen uint64
+	for {
+		spins := 0
+		for w.gen.Load() == seen {
+			switch {
+			case spins < barrierBusySpins:
+			case spins < barrierYieldSpins:
+				runtime.Gosched()
+			default:
+				w.parked.Store(true)
+				// Pairs with the engine's gen-store-then-parked-load: if
+				// the re-check still sees the old generation, the engine is
+				// guaranteed to observe parked and send a wake token. A
+				// stale token from an earlier race wakes the worker early;
+				// the outer loop re-checks gen and parks again.
+				if w.gen.Load() == seen {
+					g.parks.Add(1)
+					<-w.wake
+				}
+				w.parked.Store(false)
+				spins = 0
+				continue
+			}
+			spins++
+		}
+		seen = w.gen.Load()
+		if g.stopping.Load() {
+			return
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					sh.setPanic(r)
+				}
+			}()
+			for s := id; s < sh.shards; s += g.width {
+				if sh.shardPending[s] > 0 {
+					sh.prepareShard(s)
+				}
+			}
+		}()
+		if g.done.Add(-1) == 0 && g.engParked.Load() {
+			select {
+			case g.engWake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+func (sh *sharding) setPanic(p any) {
+	sh.panicMu.Lock()
+	if sh.panicked == nil {
+		sh.panicked = p
+	}
+	sh.panicMu.Unlock()
 }
 
 func (sh *sharding) takePanic() any {
@@ -368,51 +634,145 @@ func (sh *sharding) takePanic() any {
 	return p
 }
 
-// startWorkers lazily spins up the prepare pool: at most min(shards,
-// GOMAXPROCS) goroutines pulling shard indices. Which worker prepares which
-// shard is scheduler-dependent and deliberately irrelevant — shards touch
-// disjoint lanes and the barrier orders everything.
+// startWorkers lazily spins up the persistent pool: min(shards, GOMAXPROCS)
+// barrier participants, one of which is the engine itself, so W-1
+// goroutines. Which participant owns which shard is fixed (shard % width) —
+// partitions touch disjoint lanes and the barrier orders everything, so
+// ownership is deliberately unobservable.
 func (sh *sharding) startWorkers() {
-	if sh.started {
+	if sh.group != nil {
 		return
 	}
-	sh.started = true
-	sh.work = make(chan int, sh.shards)
-	workers := sh.shards
-	if p := runtime.GOMAXPROCS(0); workers > p {
-		workers = p
+	w := sh.width()
+	g := &workerGroup{width: w, engWake: make(chan struct{}, 1)}
+	for id := 1; id < w; id++ {
+		wk := &shardWorker{wake: make(chan struct{}, 1)}
+		g.workers = append(g.workers, wk)
+		go sh.workerLoop(g, wk, id)
 	}
-	for i := 0; i < workers; i++ {
-		go func(ch chan int) {
-			for s := range ch {
-				sh.prepareShard(s)
-			}
-		}(sh.work)
-	}
+	sh.group = g
 }
 
-// stopWorkers tears down the pool; a later sweep restarts it.
+// stopWorkers tears down the pool (workers observe stopping on their next
+// release and exit); a later run restarts it, re-reading GOMAXPROCS.
 func (sh *sharding) stopWorkers() {
-	if sh.started {
-		close(sh.work)
-		sh.work = nil
-		sh.started = false
+	g := sh.group
+	if g == nil {
+		return
+	}
+	sh.group = nil
+	g.stopping.Store(true)
+	for _, wk := range g.workers {
+		wk.gen.Add(1)
+		if wk.parked.Load() {
+			select {
+			case wk.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	sh.parks += g.parks.Load()
+}
+
+// mergeReady folds every lane's newly prepared events into the merged ready
+// queue. The committed prefix is dropped first; the leftover tail and each
+// lane's batch are individually (when, seq)-sorted, so the sort sees
+// concatenated ascending runs.
+func (sh *sharding) mergeReady() {
+	if sh.next > 0 {
+		n := copy(sh.ready, sh.ready[sh.next:])
+		for i := n; i < len(sh.ready); i++ {
+			sh.ready[i] = nil
+		}
+		sh.ready = sh.ready[:n]
+		sh.next = 0
+	}
+	runs := 0
+	if len(sh.ready) > 0 {
+		runs = 1
+	}
+	for l := range sh.lanes {
+		lq := &sh.lanes[l]
+		if len(lq.newReady) == 0 {
+			continue
+		}
+		sh.ready = append(sh.ready, lq.newReady...)
+		lq.pendingReady += len(lq.newReady)
+		for i := range lq.newReady {
+			lq.newReady[i] = nil
+		}
+		lq.newReady = lq.newReady[:0]
+		runs++
+	}
+	if runs > 1 {
+		slices.SortFunc(sh.ready, func(a, b *Event) int {
+			if a.when != b.when {
+				if a.when < b.when {
+					return -1
+				}
+				return 1
+			}
+			switch {
+			case a.seq < b.seq:
+				return -1
+			case a.seq > b.seq:
+				return 1
+			}
+			return 0
+		})
 	}
 }
 
-// ShardStats snapshots the parallel engine's execution telemetry. It must
-// be called from the engine goroutine (like Step/RunSharded); it returns
-// zeros when sharding is not enabled.
+// resetRunStats zeroes the per-run telemetry at RunSharded entry, so a
+// reused engine (warmup phase, then measurement phase) reports each
+// invocation's execution profile instead of a stale accumulation.
+func (sh *sharding) resetRunStats() {
+	sh.sweeps, sh.inlineSweeps, sh.laneCommits, sh.barrierWaitNs = 0, 0, 0, 0
+	sh.horizonCycles, sh.parks, sh.wakes = 0, 0, 0
+	sh.sweepSeen = false
+	for i := range sh.preparedBy {
+		sh.preparedBy[i] = 0
+	}
+}
+
+// flushGlobalStats folds the finished run's telemetry into the process-wide
+// aggregate. Runs after stopWorkers, so worker-side park counts are already
+// merged.
+func (sh *sharding) flushGlobalStats() {
+	globalShard.sweeps.Add(sh.sweeps)
+	globalShard.inlineSweeps.Add(sh.inlineSweeps)
+	globalShard.laneCommits.Add(sh.laneCommits)
+	globalShard.barrierWaitNs.Add(sh.barrierWaitNs)
+	globalShard.horizonCycles.Add(sh.horizonCycles)
+	globalShard.parks.Add(sh.parks)
+	globalShard.wakes.Add(sh.wakes)
+	var prepared uint64
+	for _, n := range sh.preparedBy {
+		prepared += n
+	}
+	globalShard.prepared.Add(prepared)
+}
+
+// ShardStats snapshots the parallel engine's execution telemetry for the
+// current (or just-finished) RunSharded invocation. It must be called from
+// the engine goroutine (like Step/RunSharded); it returns zeros when
+// sharding is not enabled.
 func (e *Engine) ShardStats() ShardStats {
 	sh := e.sh
 	if sh == nil {
 		return ShardStats{}
 	}
 	st := ShardStats{
-		Windows:       sh.windows,
 		Sweeps:        sh.sweeps,
+		InlineSweeps:  sh.inlineSweeps,
 		LaneCommits:   sh.laneCommits,
 		BarrierWaitNs: sh.barrierWaitNs,
+		HorizonCycles: sh.horizonCycles,
+		Parks:         sh.parks,
+		Wakes:         sh.wakes,
+	}
+	if g := sh.group; g != nil {
+		st.Parks += g.parks.Load()
 	}
 	for _, n := range sh.preparedBy {
 		st.Prepared += n
@@ -428,7 +788,7 @@ func (e *Engine) LanePending(lane int) int {
 		return 0
 	}
 	q := &sh.lanes[lane]
-	return len(q.heap) + len(q.ready) - q.next
+	return len(q.heap) + len(q.newReady) + q.pendingReady
 }
 
 // LaneCommitted reports one lane's cumulative committed event count; 0 when
@@ -439,37 +799,4 @@ func (e *Engine) LaneCommitted(lane int) uint64 {
 		return 0
 	}
 	return sh.lanes[lane].committed
-}
-
-// recomputeMin rescans lane queues for the earliest pending event.
-func (sh *sharding) recomputeMin() {
-	min := MaxCycle
-	for l := range sh.lanes {
-		q := &sh.lanes[l]
-		if q.next < len(q.ready) && q.ready[q.next].when < min {
-			min = q.ready[q.next].when
-		}
-		if len(q.heap) > 0 && q.heap[0].when < min {
-			min = q.heap[0].when
-		}
-	}
-	sh.minWhen = min
-}
-
-// compact drops committed prefixes of the ready queues and refreshes the
-// cached minimum.
-func (sh *sharding) compact() {
-	for l := range sh.lanes {
-		q := &sh.lanes[l]
-		if q.next == 0 {
-			continue
-		}
-		n := copy(q.ready, q.ready[q.next:])
-		for i := n; i < len(q.ready); i++ {
-			q.ready[i] = nil
-		}
-		q.ready = q.ready[:n]
-		q.next = 0
-	}
-	sh.recomputeMin()
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 )
 
@@ -11,7 +12,14 @@ import (
 // parallel engine must match entry for entry. Nested scheduling from
 // commits is derived purely from the event id, so both executions generate
 // the same follow-on events.
-func shardedProgram(ops []byte, shards int) []uint64 {
+//
+// varDelay exercises the batched-horizon scheduler: each lane event's
+// speculation distance is a pure function of its id — anywhere from 0 to 16
+// lookaheads, the adaptive range the memory controller uses — instead of
+// the fixed one-lookahead distance. Sequential emulation uses the identical
+// per-id delay, so the logs must still match entry for entry: speculation
+// distance is a batching knob, never a correctness one.
+func shardedProgram(ops []byte, shards int, varDelay bool) []uint64 {
 	const lanes = 8
 	const lookahead = Cycle(16)
 	const maxEvents = 512
@@ -25,11 +33,15 @@ func shardedProgram(ops []byte, shards int) []uint64 {
 	var last *Event
 
 	var schedule func(kind int, arg uint64) *Event
-	spec := func(lane int, prep, commit func()) *Event {
-		if shards > 0 {
-			return e.Speculate(lane, prep, commit)
+	spec := func(myID uint64, lane int, prep, commit func()) *Event {
+		delay := lookahead
+		if varDelay {
+			delay = Cycle((myID*0x2545F4914F6CDD1D)>>32) % (16 * lookahead)
 		}
-		return e.At(e.Now()+lookahead, func() { prep(); commit() })
+		if shards > 0 {
+			return e.SpeculateAfter(lane, delay, prep, commit)
+		}
+		return e.At(e.Now()+delay, func() { prep(); commit() })
 	}
 	schedule = func(kind int, arg uint64) *Event {
 		if id >= maxEvents {
@@ -61,7 +73,7 @@ func shardedProgram(ops []byte, shards int) []uint64 {
 				log = append(log, uint64(e.Now()), myID, v)
 				commitTail()
 			}
-			return spec(int(arg%lanes), prep, commit)
+			return spec(myID, int(arg%lanes), prep, commit)
 		}
 	}
 
@@ -112,37 +124,72 @@ func diffLogs(t *testing.T, want, got []uint64, label string) {
 
 // TestShardedMatchesSequentialSeeded cross-checks the parallel engine
 // against the sequential reference over pseudo-random programs at several
-// shard counts, including one that does not divide the lane count.
+// shard counts, including one that does not divide the lane count — under
+// both the fixed one-lookahead distance and the randomized batched-horizon
+// distances.
 func TestShardedMatchesSequentialSeeded(t *testing.T) {
-	for seed := uint64(1); seed <= 24; seed++ {
-		rng := NewRNG(seed)
-		ops := make([]byte, 64+int(rng.Uint64()%192))
-		for i := range ops {
-			ops[i] = byte(rng.Uint64())
+	for _, varDelay := range []bool{false, true} {
+		for seed := uint64(1); seed <= 24; seed++ {
+			rng := NewRNG(seed)
+			ops := make([]byte, 64+int(rng.Uint64()%192))
+			for i := range ops {
+				ops[i] = byte(rng.Uint64())
+			}
+			want := shardedProgram(ops, 0, varDelay)
+			if len(want) == 0 {
+				continue
+			}
+			for _, shards := range []int{1, 3, 8} {
+				got := shardedProgram(ops, shards, varDelay)
+				diffLogs(t, want, got, "seeded")
+			}
 		}
-		want := shardedProgram(ops, 0)
-		if len(want) == 0 {
-			continue
-		}
-		for _, shards := range []int{1, 3, 8} {
-			got := shardedProgram(ops, shards)
-			diffLogs(t, want, got, "seeded")
+	}
+}
+
+// TestShardedMatchesSequentialParallelBarrier re-runs the seeded corpus
+// with the hardware-thread cap lifted and GOMAXPROCS raised, so sweeps
+// take the worker-barrier path (parked workers, generation bumps, wake
+// tokens) even on single-core hosts. Most valuable under -race: it is the
+// main concurrency exercise of the spin-then-park barrier.
+func TestShardedMatchesSequentialParallelBarrier(t *testing.T) {
+	defer func(old func() int) { numCPU = old }(numCPU)
+	numCPU = func() int { return 8 }
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, varDelay := range []bool{false, true} {
+		for seed := uint64(1); seed <= 12; seed++ {
+			rng := NewRNG(seed ^ 0xBA881E8)
+			ops := make([]byte, 64+int(rng.Uint64()%192))
+			for i := range ops {
+				ops[i] = byte(rng.Uint64())
+			}
+			want := shardedProgram(ops, 0, varDelay)
+			if len(want) == 0 {
+				continue
+			}
+			for _, shards := range []int{3, 8} {
+				got := shardedProgram(ops, shards, varDelay)
+				diffLogs(t, want, got, "parallel-barrier")
+			}
 		}
 	}
 }
 
 // FuzzShardedVsSequential lets the fuzzer pick the lane event
-// interleavings; any divergence from the sequential engine is a
+// interleavings — and whether speculation distances are fixed or
+// id-randomized; any divergence from the sequential engine is a
 // determinism bug.
 func FuzzShardedVsSequential(f *testing.F) {
 	f.Add([]byte{1, 0, 1, 1, 1, 2, 0, 5, 1, 3}, uint8(4))
 	f.Add([]byte{0, 200, 1, 7, 2, 0, 1, 7, 0, 0, 1, 1}, uint8(1))
 	f.Add([]byte{1, 1, 1, 9, 1, 17, 1, 25, 3, 40, 1, 2}, uint8(3))
 	f.Add([]byte{3, 90, 1, 4, 2, 0, 2, 0, 1, 4, 0, 90}, uint8(8))
+	f.Add([]byte{1, 1, 1, 9, 1, 17, 1, 25, 3, 40, 1, 2}, uint8(131))
 	f.Fuzz(func(t *testing.T, ops []byte, shards uint8) {
 		s := int(shards%8) + 1
-		want := shardedProgram(ops, 0)
-		got := shardedProgram(ops, s)
+		varDelay := shards&0x80 != 0
+		want := shardedProgram(ops, 0, varDelay)
+		got := shardedProgram(ops, s, varDelay)
 		diffLogs(t, want, got, "fuzz")
 	})
 }
@@ -298,6 +345,63 @@ func TestRunShardedWithoutShardingFallsBack(t *testing.T) {
 	e2.At(1, func() {})
 	if e2.RunSharded(func() bool { return false }) {
 		t.Error("drained fallback loop reported stop satisfied")
+	}
+}
+
+// TestSpeculateAfterZeroDelay: a zero speculation distance is legal — the
+// event prepares at the next sweep and commits at the cycle it was
+// scheduled from.
+func TestSpeculateAfterZeroDelay(t *testing.T) {
+	e := NewEngine()
+	e.EnableSharding(2, 2, 10)
+	e.At(7, func() {
+		e.SpeculateAfter(1, 0, nil, func() {
+			if e.Now() != 7 {
+				t.Errorf("zero-delay commit at cycle %d, want 7", e.Now())
+			}
+		})
+	})
+	e.At(9, func() {})
+	if e.RunSharded(func() bool { return false }) {
+		t.Error("drained engine reported stop satisfied")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("%d events pending after drain", e.Pending())
+	}
+}
+
+// TestShardStatsResetBetweenRuns: ShardStats describe the current
+// RunSharded invocation only — a reused engine (warmup run, then measured
+// run) must not leak the first run's sweep counts or barrier stalls into
+// the second. The process-wide aggregate keeps the cumulative view.
+func TestShardStatsResetBetweenRuns(t *testing.T) {
+	ResetGlobalShardStats()
+	e := NewEngine()
+	e.EnableSharding(2, 2, 10)
+	for i := 0; i < 3; i++ {
+		e.Speculate(i%2, func() {}, func() {})
+	}
+	e.RunSharded(func() bool { return false })
+	first := e.ShardStats()
+	if first.LaneCommits != 3 || first.Prepared != 3 {
+		t.Fatalf("first run: %+v, want 3 lane commits and 3 prepared", first)
+	}
+	if first.Sweeps+first.InlineSweeps == 0 || first.HorizonCycles == 0 && first.Sweeps+first.InlineSweeps > 1 {
+		t.Fatalf("first run: implausible sweep telemetry %+v", first)
+	}
+	e.Speculate(0, func() {}, func() {})
+	e.RunSharded(func() bool { return false })
+	second := e.ShardStats()
+	if second.LaneCommits != 1 || second.Prepared != 1 {
+		t.Errorf("second run: %+v, want exactly 1 lane commit and 1 prepared (stale telemetry leaked)", second)
+	}
+	g := GlobalShardStats()
+	if g.LaneCommits != 4 || g.Prepared != 4 {
+		t.Errorf("global aggregate: %+v, want the cumulative 4 lane commits and 4 prepared", g)
+	}
+	ResetGlobalShardStats()
+	if g := GlobalShardStats(); g.LaneCommits != 0 || g.Sweeps != 0 {
+		t.Errorf("global aggregate not zeroed: %+v", g)
 	}
 }
 

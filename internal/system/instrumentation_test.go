@@ -57,8 +57,9 @@ func TestInstrumentationDoesNotChangeResults(t *testing.T) {
 			found[n] = true
 		}
 		for _, want := range []string{
-			"sim.shard.windows", "sim.shard.sweeps", "sim.shard.prepared",
+			"sim.shard.sweeps", "sim.shard.inline_sweeps", "sim.shard.prepared",
 			"sim.shard.lane_commits", "sim.shard.barrier_wait_ns",
+			"sim.shard.horizon_cycles", "sim.shard.parks", "sim.shard.wakes",
 			"sim.lane.0.pending", "sim.lane.0.committed",
 			"mem.spec.published", "mem.spec.hits",
 		} {

@@ -26,11 +26,14 @@ type canonicalJob struct {
 // simulation: the byte string two jobs share exactly when they are the same
 // simulation. It is the preimage of Key.
 func Canonical(cfg sim.Config, workload string) []byte {
-	// Shards selects the execution engine, not the simulated machine:
-	// results are bit-identical for every value (enforced by the
-	// determinism matrix test), so it is zeroed here to keep result caches
-	// from fragmenting by how a simulation happened to be executed.
+	// Shards — and the ShardHorizon/ShardStaticLookahead batching knobs —
+	// select the execution engine, not the simulated machine: results are
+	// bit-identical for every value (enforced by the determinism matrix
+	// test), so they are zeroed here to keep result caches from
+	// fragmenting by how a simulation happened to be executed.
 	cfg.Shards = 0
+	cfg.ShardHorizon = 0
+	cfg.ShardStaticLookahead = false
 	b, err := json.Marshal(canonicalJob{Version: keyFormatVersion, Workload: workload, Config: cfg})
 	if err != nil {
 		// sim.Config holds only scalars; Marshal cannot fail.

@@ -49,33 +49,54 @@ func TestShardedDeterminismMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, shards := range []int{1, 4, 64} {
-				for _, procs := range []int{1, 4} {
-					runtime.GOMAXPROCS(procs)
-					cfg := tc.mk()
-					cfg.Shards = shards
-					got, err := RunWorkload(cfg, tc.wl)
-					if err != nil {
-						t.Fatalf("shards=%d procs=%d: %v", shards, procs, err)
-					}
-					if !reflect.DeepEqual(base, got) {
-						t.Errorf("shards=%d procs=%d diverged from sequential:\n  sequential: %+v\n  sharded:    %+v",
-							shards, procs, base, got)
-					}
+			// Engine variants: shard counts × GOMAXPROCS, plus the batching
+			// knobs — a narrow horizon (sweep every window), a very wide
+			// one, and the static distance with the adaptive extension off.
+			for _, v := range []struct {
+				name           string
+				shards, procs  int
+				horizon        int
+				staticDistance bool
+			}{
+				{"shards=1/procs=1", 1, 1, 0, false},
+				{"shards=4/procs=1", 4, 1, 0, false},
+				{"shards=4/procs=4", 4, 4, 0, false},
+				{"shards=64/procs=1", 64, 1, 0, false},
+				{"shards=64/procs=4", 64, 4, 0, false},
+				{"shards=64/horizon=1/procs=4", 64, 4, 1, false},
+				{"shards=64/horizon=32/procs=2", 64, 2, 32, false},
+				{"shards=64/horizon=8/static/procs=4", 64, 4, 8, true},
+				{"shards=16/horizon=4/static/procs=2", 16, 2, 4, true},
+			} {
+				runtime.GOMAXPROCS(v.procs)
+				cfg := tc.mk()
+				cfg.Shards = v.shards
+				cfg.ShardHorizon = v.horizon
+				cfg.ShardStaticLookahead = v.staticDistance
+				got, err := RunWorkload(cfg, tc.wl)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("%s diverged from sequential:\n  sequential: %+v\n  sharded:    %+v",
+						v.name, base, got)
 				}
 			}
 		})
 	}
 }
 
-// TestShardedKeyIgnoresShards: Shards picks the execution engine, not the
-// simulated machine, so it must not fragment result caches.
+// TestShardedKeyIgnoresShards: Shards and the batching knobs pick the
+// execution engine, not the simulated machine, so they must not fragment
+// result caches.
 func TestShardedKeyIgnoresShards(t *testing.T) {
 	a := quickConfig(sim.SchemeGCP)
 	b := a
 	b.Shards = 64
+	b.ShardHorizon = 16
+	b.ShardStaticLookahead = true
 	if Key(a, "mcf_m") != Key(b, "mcf_m") {
-		t.Error("Shards changed the result cache key")
+		t.Error("Shards/ShardHorizon/ShardStaticLookahead changed the result cache key")
 	}
 	if Key(a, "mcf_m") == Key(a, "lbm_m") {
 		t.Error("distinct workloads share a key")

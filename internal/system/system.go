@@ -345,11 +345,14 @@ func (s *System) registerSystemMetrics() {
 	if !s.Eng.Sharded() {
 		return
 	}
-	s.Obs.ExecGauge("sim.shard.windows", func() float64 { return float64(s.Eng.ShardStats().Windows) })
 	s.Obs.ExecGauge("sim.shard.sweeps", func() float64 { return float64(s.Eng.ShardStats().Sweeps) })
+	s.Obs.ExecGauge("sim.shard.inline_sweeps", func() float64 { return float64(s.Eng.ShardStats().InlineSweeps) })
 	s.Obs.ExecGauge("sim.shard.prepared", func() float64 { return float64(s.Eng.ShardStats().Prepared) })
 	s.Obs.ExecGauge("sim.shard.lane_commits", func() float64 { return float64(s.Eng.ShardStats().LaneCommits) })
 	s.Obs.ExecGauge("sim.shard.barrier_wait_ns", func() float64 { return float64(s.Eng.ShardStats().BarrierWaitNs) })
+	s.Obs.ExecGauge("sim.shard.horizon_cycles", func() float64 { return float64(s.Eng.ShardStats().HorizonCycles) })
+	s.Obs.ExecGauge("sim.shard.parks", func() float64 { return float64(s.Eng.ShardStats().Parks) })
+	s.Obs.ExecGauge("sim.shard.wakes", func() float64 { return float64(s.Eng.ShardStats().Wakes) })
 	for l := 0; l < s.Eng.Lanes(); l++ {
 		l := l
 		s.Obs.ExecGauge(fmt.Sprintf("sim.lane.%d.pending", l), func() float64 { return float64(s.Eng.LanePending(l)) })

@@ -33,6 +33,15 @@ if [ "${CKPT:-1}" = 1 ]; then
     go run ./cmd/fpbbench -warm 500000 -instr 2000 >/dev/null
     rm -rf "$CKDIR"
 fi
+# Scaling gate: a short sharded-vs-sequential comparison at GOMAXPROCS=2.
+# fpbbench cross-checks that every grid point produces bit-identical result
+# tables and prints a loud WARNING on stderr if the sharded engine is slower
+# than sequential at the same cpu count. Warning only — wall clock on shared
+# CI runners is too noisy to fail on. SCALE=0 skips.
+if [ "${SCALE:-1}" = 1 ]; then
+    go run ./cmd/fpbbench -cpus 2 -shards 0,64 -reps 2 -instr 3000 \
+        -workloads mcf_m >/dev/null
+fi
 # End-to-end daemon smoke: real fpbd binary, one job through the full
 # lifecycle, both /metrics formats asserted. SMOKE=0 skips it (e.g. for
 # sandboxes without loopback listeners); it needs curl.
